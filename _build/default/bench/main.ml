@@ -1,0 +1,159 @@
+(* Benchmark harness.
+
+   Part 1 regenerates every table and figure of the paper's evaluation
+   from the synthetic 31-network study (the substitution for the
+   proprietary configuration corpus; see DESIGN.md §2):
+
+     Figure 4   net5 configuration size distribution
+     Figure 8   network size distribution (study vs repository)
+     Table 1    intra-/inter-domain protocol roles
+     Table 3    interface-type census
+     Figure 11  packet-filter placement CDF
+     §7         design classification
+     §5.1/§6.1  net5 case study (Figures 9, 10)
+     §6.2       net15 case study (Figure 12, Table 2)
+     plus the three ablations from DESIGN.md §5.
+
+   Part 2 runs Bechamel micro-benchmarks of the pipeline stages (one
+   Test.make per stage). *)
+
+let master_seed = 2004
+
+let line = String.make 78 '='
+
+let section title = Printf.printf "\n%s\n%s\n%s\n" line title line
+
+(* ------------------------------------------------------------- part 1 --- *)
+
+let run_experiments () =
+  section "PART 1: PAPER EXPERIMENT REGENERATION";
+  Printf.printf "building the 31-network study population (seed %d)...\n%!" master_seed;
+  let t0 = Sys.time () in
+  let nets = Rd_study.Population.build ~master_seed () in
+  let routers =
+    List.fold_left (fun acc (n : Rd_study.Population.network) -> acc + n.spec.n) 0 nets
+  in
+  Printf.printf "%d networks, %d routers analyzed in %.1fs cpu\n%!" (List.length nets) routers
+    (Sys.time () -. t0);
+  let find id = List.find (fun (n : Rd_study.Population.network) -> n.spec.net_id = id) nets in
+  let net5 = find 5 and net15 = find 15 in
+  section "Figure 4";
+  print_string (Rd_study.Experiments.fig4 net5);
+  section "Figure 8";
+  print_string (Rd_study.Experiments.fig8 ~master_seed nets);
+  section "Table 1";
+  print_string (Rd_study.Experiments.table1 nets);
+  section "Table 3";
+  print_string (Rd_study.Experiments.table3 nets);
+  section "Figure 11";
+  print_string (Rd_study.Experiments.fig11 nets);
+  section "Section 7";
+  print_string (Rd_study.Experiments.sec7 nets);
+  section "net5 case study (Figures 9 and 10)";
+  print_string (Rd_study.Experiments.net5_case net5);
+  section "net15 case study (Figure 12 and Table 2)";
+  print_string (Rd_study.Experiments.net15_case net15);
+  section "Ablation: instance computation";
+  print_string
+    (Rd_study.Experiments.ablation_instances
+       (List.filter (fun (n : Rd_study.Population.network) -> n.spec.n <= 881) nets));
+  section "Ablation: address-block threshold (net5)";
+  print_string (Rd_study.Experiments.ablation_blocks net5);
+  section "Ablation: external-facing detection";
+  print_string
+    (Rd_study.Experiments.ablation_external
+       (List.filter (fun (n : Rd_study.Population.network) -> n.spec.net_id <= 15) nets));
+  section "Ablation: strict OSPF area matching (on a multi-area backbone)";
+  print_string (Rd_study.Experiments.ablation_ospf_area (find 2));
+  section "Reproduction scorecard";
+  print_string (Rd_study.Experiments.scorecard ~master_seed nets)
+
+(* ------------------------------------------------------------- part 2 --- *)
+
+open Bechamel
+open Toolkit
+
+(* fixed inputs prepared once *)
+let bench_inputs () =
+  let spec =
+    List.find
+      (fun (s : Rd_study.Population.spec) -> s.net_id = 1)
+      (Rd_study.Population.specs ~master_seed)
+  in
+  let files = Rd_study.Population.generate_one spec in
+  let one_config = snd (List.hd files) in
+  let asts = List.map (fun (n, t) -> (n, Rd_config.Parser.parse t)) files in
+  let topo = Rd_topo.Topology.build asts in
+  let catalog = Rd_routing.Process.build topo in
+  let graph = Rd_routing.Instance_graph.build catalog in
+  let subnets = Rd_addrspace.Blocks.subnets_of_configs asts in
+  (files, one_config, asts, catalog, graph, subnets)
+
+let make_tests () =
+  let files, one_config, asts, catalog, graph, subnets = bench_inputs () in
+  let anonymizer = Rd_config.Anonymizer.create ~key:"bench" in
+  let prefixes =
+    List.concat_map
+      (fun (_, (c : Rd_config.Ast.t)) ->
+        List.concat_map Rd_config.Ast.interface_prefixes c.interfaces)
+      asts
+  in
+  let set_a = Rd_addr.Prefix_set.of_prefixes prefixes in
+  let set_b = Rd_addr.Prefix_set.of_prefixes (List.filteri (fun i _ -> i mod 2 = 0) prefixes) in
+  [
+    Test.make ~name:"parse_one_config" (Staged.stage (fun () -> Rd_config.Parser.parse one_config));
+    Test.make ~name:"parse_network_47"
+      (Staged.stage (fun () -> List.map (fun (n, t) -> (n, Rd_config.Parser.parse t)) files));
+    Test.make ~name:"topology_build" (Staged.stage (fun () -> Rd_topo.Topology.build asts));
+    Test.make ~name:"adjacency" (Staged.stage (fun () -> Rd_routing.Adjacency.compute catalog));
+    Test.make ~name:"instance_graph" (Staged.stage (fun () -> Rd_routing.Instance_graph.build catalog));
+    Test.make ~name:"reachability_fixpoint"
+      (Staged.stage (fun () -> Rd_reach.Reachability.compute graph));
+    Test.make ~name:"address_blocks" (Staged.stage (fun () -> Rd_addrspace.Blocks.discover subnets));
+    Test.make ~name:"anonymize_config"
+      (Staged.stage (fun () -> Rd_config.Anonymizer.anonymize_config anonymizer one_config));
+    Test.make ~name:"prefix_set_inter" (Staged.stage (fun () -> Rd_addr.Prefix_set.inter set_a set_b));
+    Test.make ~name:"sha1_1k"
+      (Staged.stage
+         (let s = String.make 1024 'x' in
+          fun () -> Rd_util.Sha1.digest_string s));
+    Test.make ~name:"pathway_bfs" (Staged.stage (fun () -> Rd_routing.Pathway.build graph ~router:0));
+    Test.make ~name:"generate_net_20"
+      (Staged.stage (fun () ->
+           Rd_gen.Builder.to_texts
+             (Rd_gen.Archetype.generate Rd_gen.Archetype.Enterprise ~seed:9 ~n:20 ~index:1 ())));
+  ]
+
+let run_benchmarks () =
+  section "PART 2: PIPELINE MICRO-BENCHMARKS (Bechamel)";
+  let tests = make_tests () in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let grouped = Test.make_grouped ~name:"rdna" tests in
+  let raw = Benchmark.all cfg [ instance ] grouped in
+  let analyzed = Analyze.all ols instance raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols_result acc ->
+        let time =
+          match Analyze.OLS.estimates ols_result with
+          | Some [ ns ] ->
+            if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+            else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+            else Printf.sprintf "%.0f ns" ns
+          | _ -> "n/a"
+        in
+        (name, time) :: acc)
+      analyzed []
+    |> List.sort compare
+    |> List.map (fun (n, t) -> [ n; t ])
+  in
+  Rd_util.Table.print ~headers:[ "stage"; "time/run" ]
+    ~aligns:[ Rd_util.Table.Left; Rd_util.Table.Right ]
+    rows
+
+let () =
+  run_experiments ();
+  run_benchmarks ();
+  print_newline ()

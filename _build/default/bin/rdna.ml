@@ -1,0 +1,315 @@
+(* rdna — Routing Design Network Analyzer.
+
+   Command-line front end for the reverse-engineering methodology:
+   parse and anonymize configuration files, derive routing instances,
+   pathways and reachability, generate synthetic networks, and run the
+   31-network study. *)
+
+open Cmdliner
+
+(* --- shared helpers ----------------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let load_dir dir =
+  Sys.readdir dir |> Array.to_list |> List.sort compare
+  |> List.filter_map (fun f ->
+       let path = Filename.concat dir f in
+       if Sys.is_directory path then None else Some (f, read_file path))
+
+let analyze_dir dir = Rd_core.Analysis.analyze ~name:(Filename.basename dir) (load_dir dir)
+
+let dir_arg =
+  Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR" ~doc:"Directory of configuration files.")
+
+(* --- parse -------------------------------------------------------------- *)
+
+let parse_cmd =
+  let run dir =
+    List.iter
+      (fun (name, text) ->
+        let c = Rd_config.Parser.parse text in
+        Printf.printf "%s: %d lines, %d commands, %d interfaces, %d processes, %d acls, %d route-maps, %d statics, %d unknown\n"
+          name c.total_lines c.command_count (List.length c.interfaces)
+          (List.length c.processes) (List.length c.acls) (List.length c.route_maps)
+          (List.length c.statics) (List.length c.unknown))
+      (load_dir dir)
+  in
+  Cmd.v (Cmd.info "parse" ~doc:"Parse configuration files and report per-file statistics.")
+    Term.(const run $ dir_arg)
+
+(* --- anonymize ---------------------------------------------------------- *)
+
+let anonymize_cmd =
+  let run dir key out =
+    let anonymizer = Rd_config.Anonymizer.create ~key in
+    if not (Sys.file_exists out) then Sys.mkdir out 0o755;
+    List.iteri
+      (fun i (_, text) ->
+        let oc = open_out (Filename.concat out (Printf.sprintf "config%d" (i + 1))) in
+        output_string oc (Rd_config.Anonymizer.anonymize_config anonymizer text);
+        close_out oc)
+      (load_dir dir);
+    Printf.printf "anonymized files written to %s\n" out
+  in
+  let key_arg =
+    Arg.(value & opt string "rdna" & info [ "key" ] ~docv:"KEY" ~doc:"Anonymization key.")
+  in
+  let out_arg =
+    Arg.(value & opt string "anonymized" & info [ "out"; "o" ] ~docv:"OUT" ~doc:"Output directory.")
+  in
+  Cmd.v
+    (Cmd.info "anonymize"
+       ~doc:"Anonymize configuration files (SHA-1 token hashing, prefix-preserving addresses).")
+    Term.(const run $ dir_arg $ key_arg $ out_arg)
+
+(* --- summary / instances ------------------------------------------------ *)
+
+let summary_cmd =
+  let run dir = print_string (Rd_core.Analysis.summary (analyze_dir dir)) in
+  Cmd.v
+    (Cmd.info "summary" ~doc:"Full routing-design summary of a directory of configurations.")
+    Term.(const run $ dir_arg)
+
+let instances_cmd =
+  let run dir =
+    let a = analyze_dir dir in
+    Array.iter
+      (fun i -> print_endline (Rd_routing.Instance.to_string i))
+      a.graph.assignment.instances;
+    let ev = Rd_core.Design_class.classify a in
+    Printf.printf "design classification: %s\n"
+      (Rd_core.Design_class.design_to_string ev.design)
+  in
+  Cmd.v (Cmd.info "instances" ~doc:"List the network's routing instances.")
+    Term.(const run $ dir_arg)
+
+(* --- processes -------------------------------------------------------------- *)
+
+let processes_cmd =
+  let run dir =
+    let a = analyze_dir dir in
+    print_string (Rd_routing.Process_graph.render (Rd_routing.Process_graph.build a.catalog))
+  in
+  Cmd.v
+    (Cmd.info "processes" ~doc:"The routing process graph: RIBs, adjacencies, redistributions (paper §3.1).")
+    Term.(const run $ dir_arg)
+
+(* --- roles ---------------------------------------------------------------- *)
+
+let roles_cmd =
+  let run dir =
+    let a = analyze_dir dir in
+    let c = Rd_core.Roles.count a in
+    let row name (intra, inter) = [ name; string_of_int intra; string_of_int inter ] in
+    Rd_util.Table.print
+      ~headers:[ "protocol"; "intra"; "inter" ]
+      ~aligns:[ Rd_util.Table.Left; Rd_util.Table.Right; Rd_util.Table.Right ]
+      [
+        row "OSPF (instances)" c.ospf;
+        row "EIGRP (instances)" c.eigrp;
+        row "RIP (instances)" c.rip;
+        row "EBGP (sessions)" c.ebgp_sessions;
+      ];
+    let igp, ebgp = Rd_core.Roles.total_conventional_fraction c in
+    Printf.printf "conventional: %.1f%% IGP intra, %.1f%% EBGP inter\n" (100.0 *. igp)
+      (100.0 *. ebgp)
+  in
+  Cmd.v (Cmd.info "roles" ~doc:"Intra/inter-domain protocol roles (paper Table 1).")
+    Term.(const run $ dir_arg)
+
+(* --- areas ---------------------------------------------------------------- *)
+
+let areas_cmd =
+  let run dir =
+    let a = analyze_dir dir in
+    let infos = Rd_routing.Areas.analyze a.catalog a.graph.assignment in
+    if infos = [] then print_endline "no OSPF instances"
+    else List.iter (fun info -> print_string (Rd_routing.Areas.render a.catalog info)) infos
+  in
+  Cmd.v (Cmd.info "areas" ~doc:"OSPF area structure and area border routers.")
+    Term.(const run $ dir_arg)
+
+(* --- pathway ------------------------------------------------------------ *)
+
+let pathway_cmd =
+  let run dir router =
+    let a = analyze_dir dir in
+    match Rd_topo.Topology.router_index a.topo router with
+    | None -> prerr_endline ("no such router: " ^ router)
+    | Some ri ->
+      print_string (Rd_routing.Pathway.render a.graph (Rd_routing.Pathway.build a.graph ~router:ri))
+  in
+  let router_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"ROUTER" ~doc:"Router hostname or file name.")
+  in
+  Cmd.v (Cmd.info "pathway" ~doc:"Route pathway graph for a router (paper §3.3).")
+    Term.(const run $ dir_arg $ router_arg)
+
+(* --- reach -------------------------------------------------------------- *)
+
+let reach_cmd =
+  let run dir src dst =
+    let a = analyze_dir dir in
+    let r = Rd_reach.Reachability.compute a.graph in
+    match (Rd_addr.Ipv4.of_string src, Rd_addr.Ipv4.of_string dst) with
+    | Some s, Some d ->
+      Printf.printf "%s -> %s: %b\n" src dst (Rd_reach.Reachability.can_reach r ~src:s ~dst:d);
+      Printf.printf "%s -> %s: %b\n" dst src (Rd_reach.Reachability.can_reach r ~src:d ~dst:s)
+    | _ -> prerr_endline "bad addresses"
+  in
+  let addr n doc = Arg.(required & pos n (some string) None & info [] ~docv:"ADDR" ~doc) in
+  Cmd.v (Cmd.info "reach" ~doc:"Static reachability verdict between two addresses (§6.2).")
+    Term.(const run $ dir_arg $ addr 1 "Source address." $ addr 2 "Destination address.")
+
+(* --- dot ---------------------------------------------------------------- *)
+
+let dot_cmd =
+  let run dir which =
+    let a = analyze_dir dir in
+    match which with
+    | "instances" -> print_string (Rd_routing.Instance_graph.to_dot a.graph)
+    | "processes" ->
+      print_string (Rd_routing.Process_graph.to_dot (Rd_routing.Process_graph.build a.catalog))
+    | other -> prerr_endline ("unknown graph: " ^ other ^ " (expected instances|processes)")
+  in
+  let which_arg =
+    Arg.(value & pos 1 string "instances" & info [] ~docv:"GRAPH" ~doc:"instances or processes.")
+  in
+  Cmd.v (Cmd.info "dot" ~doc:"Export the instance or process graph as Graphviz DOT.")
+    Term.(const run $ dir_arg $ which_arg)
+
+(* --- audit -------------------------------------------------------------- *)
+
+let audit_cmd =
+  let run dir =
+    let findings = Rd_core.Audit.run_all (analyze_dir dir) in
+    print_string (Rd_core.Audit.render findings);
+    Printf.printf "%d findings\n" (List.length findings)
+  in
+  Cmd.v
+    (Cmd.info "audit" ~doc:"Vulnerability/anomaly audit of a routing design (paper §8.1).")
+    Term.(const run $ dir_arg)
+
+(* --- inventory ------------------------------------------------------------ *)
+
+let inventory_cmd =
+  let run dir against =
+    let a = analyze_dir dir in
+    match against with
+    | None -> print_string (Rd_core.Inventory.report a)
+    | Some other ->
+      let b = analyze_dir other in
+      print_string
+        (Rd_core.Inventory.render_delta (Rd_core.Inventory.diff ~old_snapshot:a ~new_snapshot:b))
+  in
+  let against_arg =
+    Arg.(value & opt (some dir) None & info [ "against" ] ~docv:"DIR" ~doc:"Diff against a newer snapshot directory.")
+  in
+  Cmd.v
+    (Cmd.info "inventory" ~doc:"Equipment/addressing inventory, or a snapshot diff (paper §8.1).")
+    Term.(const run $ dir_arg $ against_arg)
+
+(* --- whatif ------------------------------------------------------------- *)
+
+let whatif_cmd =
+  let run dir remove_routers remove_links =
+    let a = analyze_dir dir in
+    let changes =
+      List.map (fun r -> Rd_core.Whatif.Remove_router r) remove_routers
+      @ List.filter_map
+          (fun l -> Option.map (fun p -> Rd_core.Whatif.Remove_link p) (Rd_addr.Prefix.of_string l))
+          remove_links
+    in
+    if changes = [] then prerr_endline "nothing to change (use --remove-router/--remove-link)"
+    else print_string (Rd_core.Whatif.render (Rd_core.Whatif.run a changes))
+  in
+  let routers_arg =
+    Arg.(value & opt_all string [] & info [ "remove-router" ] ~docv:"NAME" ~doc:"Take a router out of service.")
+  in
+  let links_arg =
+    Arg.(value & opt_all string [] & info [ "remove-link" ] ~docv:"SUBNET" ~doc:"Shut the link with this subnet (a.b.c.d/len).")
+  in
+  Cmd.v
+    (Cmd.info "whatif" ~doc:"Model the effect of failures/maintenance on the design (paper §8.1).")
+    Term.(const run $ dir_arg $ routers_arg $ links_arg)
+
+(* --- generate ----------------------------------------------------------- *)
+
+let generate_cmd =
+  let run arch n seed out =
+    let archetype =
+      match arch with
+      | "backbone" -> Rd_gen.Archetype.Backbone
+      | "enterprise" -> Rd_gen.Archetype.Enterprise
+      | "compartment" -> Rd_gen.Archetype.Compartment
+      | "restricted" -> Rd_gen.Archetype.Restricted
+      | "tier2" -> Rd_gen.Archetype.Tier2
+      | "hub-spoke" -> Rd_gen.Archetype.Hub_spoke
+      | _ -> Rd_gen.Archetype.Igp_only
+    in
+    let net = Rd_gen.Archetype.generate archetype ~seed ~n ~index:seed () in
+    if not (Sys.file_exists out) then Sys.mkdir out 0o755;
+    List.iter
+      (fun (name, text) ->
+        let oc = open_out (Filename.concat out name) in
+        output_string oc text;
+        close_out oc)
+      (Rd_gen.Builder.to_texts net);
+    Printf.printf "%d configurations written to %s\n" (Rd_gen.Builder.router_count net) out
+  in
+  let arch_arg =
+    Arg.(value & pos 0 string "enterprise"
+         & info [] ~docv:"ARCH"
+             ~doc:"backbone|enterprise|compartment|restricted|tier2|hub-spoke|igp-only")
+  in
+  let n_arg = Arg.(value & opt int 30 & info [ "n" ] ~docv:"N" ~doc:"Router count.") in
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
+  let out_arg = Arg.(value & opt string "generated" & info [ "out"; "o" ] ~docv:"OUT" ~doc:"Output directory.") in
+  Cmd.v (Cmd.info "generate" ~doc:"Generate a synthetic network's configuration files.")
+    Term.(const run $ arch_arg $ n_arg $ seed_arg $ out_arg)
+
+(* --- study -------------------------------------------------------------- *)
+
+let study_cmd =
+  let run seed only =
+    let nets =
+      match only with
+      | [] -> Rd_study.Population.build ~master_seed:seed ()
+      | ids -> Rd_study.Population.build ~only:ids ~master_seed:seed ()
+    in
+    List.iter
+      (fun (n : Rd_study.Population.network) ->
+        Printf.printf "--- %s (%s, %d routers) ---\n" n.spec.label
+          (Rd_gen.Archetype.to_string n.spec.arch) n.spec.n;
+        print_string (Rd_core.Analysis.summary n.analysis))
+      nets;
+    if only = [] then begin
+      print_string (Rd_study.Experiments.sec7 nets);
+      print_string (Rd_study.Experiments.table1 nets);
+      print_string (Rd_study.Experiments.table3 nets);
+      print_string (Rd_study.Experiments.fig11 nets)
+    end
+  in
+  let seed_arg = Arg.(value & opt int 2004 & info [ "seed" ] ~docv:"SEED" ~doc:"Master seed.") in
+  let only_arg =
+    Arg.(value & opt (list int) [] & info [ "only" ] ~docv:"IDS" ~doc:"Comma-separated net ids.")
+  in
+  Cmd.v (Cmd.info "study" ~doc:"Run the 31-network study (paper §5-§7).")
+    Term.(const run $ seed_arg $ only_arg)
+
+let () =
+  let info = Cmd.info "rdna" ~version:"1.0.0" ~doc:"Routing design reverse engineering (SIGCOMM'04 reproduction)." in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            parse_cmd; anonymize_cmd; summary_cmd; instances_cmd; processes_cmd; areas_cmd;
+            roles_cmd; pathway_cmd; reach_cmd; dot_cmd; audit_cmd; inventory_cmd; whatif_cmd;
+            generate_cmd; study_cmd;
+          ]))

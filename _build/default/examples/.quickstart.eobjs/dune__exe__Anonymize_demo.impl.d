@@ -1,0 +1,1 @@
+examples/anonymize_demo.ml: List Printf Rd_config Rd_core Rd_gen Rd_topo String

@@ -1,0 +1,1 @@
+examples/anonymize_demo.mli:

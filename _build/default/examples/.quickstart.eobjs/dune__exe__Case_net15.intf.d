@@ -1,0 +1,1 @@
+examples/case_net15.mli:

@@ -1,0 +1,1 @@
+examples/case_net5.ml: List Rd_study

@@ -1,0 +1,1 @@
+examples/evolution.ml: List Printf Rd_core Rd_gen

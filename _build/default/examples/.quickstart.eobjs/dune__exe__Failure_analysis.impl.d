@@ -1,0 +1,1 @@
+examples/failure_analysis.ml: Array List Printf Rd_core Rd_gen Rd_routing Rd_sim String

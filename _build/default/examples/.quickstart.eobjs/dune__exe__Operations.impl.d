@@ -1,0 +1,1 @@
+examples/operations.ml: List Printf Rd_addr Rd_core Rd_gen Rd_topo

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array List Printf Rd_addr Rd_addrspace Rd_core Rd_reach Rd_routing Rd_topo String

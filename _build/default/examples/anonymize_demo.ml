@@ -1,0 +1,35 @@
+(* Structure-preserving anonymization (§4.1): hash free tokens, remap
+   public AS numbers, anonymize addresses prefix-preservingly — then show
+   that the anonymized files still support the full analysis. *)
+
+let () =
+  let net = Rd_gen.Archetype.generate Rd_gen.Archetype.Enterprise ~seed:11 ~n:12 ~index:3 () in
+  let texts = Rd_gen.Builder.to_texts net in
+  let name, original = List.hd texts in
+  let anonymizer = Rd_config.Anonymizer.create ~key:"demo-key" in
+  let anonymized = Rd_config.Anonymizer.anonymize_config anonymizer original in
+  let first_lines n s =
+    String.concat "\n" (List.filteri (fun i _ -> i < n) (String.split_on_char '\n' s))
+  in
+  Printf.printf "=== %s, original (first 30 lines) ===\n%s\n\n" name (first_lines 30 original);
+  Printf.printf "=== %s, anonymized ===\n%s\n\n" name (first_lines 30 anonymized);
+  (* The same analysis on anonymized files gives the same design. *)
+  let a1 = Rd_core.Analysis.analyze ~name:"original" texts in
+  let texts2 =
+    List.mapi
+      (fun i (_, t) ->
+        (Printf.sprintf "config%d" (i + 1), Rd_config.Anonymizer.anonymize_config anonymizer t))
+      texts
+  in
+  let a2 = Rd_core.Analysis.analyze ~name:"anonymized" texts2 in
+  Printf.printf "instances: %d original vs %d anonymized\n"
+    (Rd_core.Analysis.instance_count a1) (Rd_core.Analysis.instance_count a2);
+  Printf.printf "links: %d vs %d\n" (List.length a1.topo.links) (List.length a2.topo.links);
+  Printf.printf "external ifaces: %d vs %d\n"
+    (List.length (Rd_topo.Topology.external_interfaces a1.topo))
+    (List.length (Rd_topo.Topology.external_interfaces a2.topo));
+  let d1 = (Rd_core.Design_class.classify a1).design in
+  let d2 = (Rd_core.Design_class.classify a2).design in
+  Printf.printf "design: %s vs %s\n"
+    (Rd_core.Design_class.design_to_string d1)
+    (Rd_core.Design_class.design_to_string d2)

@@ -1,0 +1,12 @@
+(* The net15 case study (§6.2, Figure 12, Table 2): restricted
+   reachability enforced purely by redistribution policies. *)
+
+let () =
+  print_endline "generating net15 (79 routers) and analyzing its configuration files...";
+  let spec =
+    List.find
+      (fun (s : Rd_study.Population.spec) -> s.net_id = 15)
+      (Rd_study.Population.specs ~master_seed:2004)
+  in
+  let net = Rd_study.Population.build_network spec in
+  print_string (Rd_study.Experiments.net15_case net)

@@ -1,0 +1,44 @@
+(* Vulnerability assessment (§8.1): which router failures partition route
+   flow between routing instances, and where are the single points of
+   failure?  Demonstrated on a small compartmentalized network. *)
+
+let () =
+  let net =
+    Rd_gen.Archetype.generate Rd_gen.Archetype.Compartment ~seed:7 ~n:40 ~index:9 ()
+  in
+  let a = Rd_core.Analysis.analyze ~name:"compartment40" (Rd_gen.Builder.to_texts net) in
+  print_string (Rd_core.Analysis.summary a);
+  print_endline "\ndisconnection scenarios (multi-router instances only):";
+  let insts = a.graph.assignment.instances in
+  List.iter
+    (fun (src, dst, verdict) ->
+      if
+        Rd_routing.Instance.size insts.(src) > 1
+        && Rd_routing.Instance.size insts.(dst) > 1
+      then begin
+        let name i = Rd_routing.Instance.to_string insts.(i) in
+        match verdict with
+        | Rd_sim.Failure.Cut (k, cut) ->
+          Printf.printf "  %s -> %s: %d failures (%s)\n" (name src) (name dst) k
+            (String.concat ", " (List.map (fun r -> fst a.topo.routers.(r)) cut))
+        | Rd_sim.Failure.Never -> Printf.printf "  %s -> %s: survives any partial failure\n" (name src) (name dst)
+        | Rd_sim.Failure.Already_partitioned -> ()
+      end)
+    (Rd_sim.Failure.disconnection_scenarios a.graph);
+  let spofs = Rd_sim.Failure.single_points_of_failure a.graph in
+  Printf.printf "\nsingle points of failure: %s\n"
+    (if spofs = [] then "none"
+     else String.concat ", " (List.map (fun r -> fst a.topo.routers.(r)) spofs));
+  (* Route-load prediction via the propagation simulator (§3.1's "how many
+     routes will a routing process have to handle"). *)
+  print_endline "\nper-instance route load (propagation simulator):";
+  let pg = Rd_routing.Process_graph.build a.catalog in
+  let sim = Rd_sim.Propagate.run pg in
+  Array.iter
+    (fun (i : Rd_routing.Instance.t) ->
+      if Rd_routing.Instance.size i > 1 then begin
+        let mx, mean = Rd_sim.Propagate.instance_load sim a.graph.assignment i.inst_id in
+        Printf.printf "  %s: max %d routes, mean %.0f\n" (Rd_routing.Instance.to_string i) mx mean
+      end)
+    a.graph.assignment.instances;
+  Printf.printf "(propagation converged in %d rounds)\n" sim.iterations

@@ -1,0 +1,168 @@
+(* Quickstart: the paper's running example (Figures 1, 2, 5, 6, 7).
+
+   A small enterprise network (R1-R3) obtains Internet connectivity
+   through a transit backbone (R4-R6); R7 is another customer of the
+   backbone whose configuration we do not have.  We write the router
+   configurations as plain IOS-dialect text, parse them, and derive the
+   routing process graph, the routing instances, and route pathway graphs
+   — the full §3 methodology on seven routers. *)
+
+let enterprise_border =
+  (* R2 is modelled on the paper's Figure 2: two OSPF processes, a BGP
+     process, redistribution with a route-map, and a packet filter. *)
+  {|hostname R2
+!
+interface Ethernet0
+ ip address 66.251.75.144 255.255.255.128
+ ip access-group 143 in
+!
+interface Serial1/0 point-to-point
+ ip address 66.253.32.85 255.255.255.252
+ ip access-group 143 in
+!
+interface Hssi2/0 point-to-point
+ ip address 66.253.160.67 255.255.255.252
+!
+router ospf 64
+ redistribute connected metric-type 1 subnets
+ redistribute bgp 64780 metric 1 subnets
+ network 66.251.75.128 0.0.0.127 area 0
+ network 66.253.32.84 0.0.0.3 area 0
+!
+router bgp 64780
+ redistribute ospf 64 route-map EXT-OUT
+ neighbor 66.253.160.68 remote-as 12762
+ neighbor 66.253.160.68 distribute-list 4 in
+ neighbor 66.253.160.68 distribute-list 3 out
+!
+access-list 143 deny 134.161.0.0 0.0.255.255
+access-list 143 permit any
+access-list 3 permit 66.251.0.0 0.0.255.255
+access-list 4 permit any
+route-map EXT-OUT permit 10
+ match ip address 3
+|}
+
+let r1 =
+  {|hostname R1
+!
+interface Ethernet0
+ ip address 66.251.75.2 255.255.255.128
+!
+interface Serial0/0 point-to-point
+ ip address 66.253.32.86 255.255.255.252
+!
+router ospf 7
+ network 66.251.75.0 0.0.0.127 area 0
+ network 66.253.32.84 0.0.0.3 area 0
+|}
+
+let r3 =
+  {|hostname R3
+!
+interface Ethernet0
+ ip address 66.251.75.145 255.255.255.128
+!
+interface Ethernet1
+ ip address 66.251.76.1 255.255.255.0
+!
+router ospf 12
+ network 66.251.75.128 0.0.0.127 area 0
+ network 66.251.76.0 0.0.0.255 area 0
+|}
+
+(* Backbone AS 12762: OSPF for infrastructure + IBGP mesh; R6 peers with
+   the enterprise, R4 peers with R7 (absent from the data set). *)
+let backbone name loopback serial_addrs ebgp =
+  Printf.sprintf
+    {|hostname %s
+!
+interface Loopback0
+ ip address %s 255.255.255.255
+!
+%s!
+router ospf 1
+ network 10.12.0.0 0.0.255.255 area 0
+ network %s 0.0.0.0 area 0
+!
+router bgp 12762
+%s%s|}
+    name loopback
+    (String.concat ""
+       (List.mapi
+          (fun i (addr, mask) ->
+            Printf.sprintf "interface POS%d/0 point-to-point\n ip address %s %s\n!\n" i addr mask)
+          serial_addrs))
+    loopback
+    (String.concat ""
+       (List.map
+          (fun peer -> Printf.sprintf " neighbor %s remote-as 12762\n neighbor %s update-source Loopback0\n" peer peer)
+          (List.filter (fun p -> p <> loopback) [ "10.12.255.4"; "10.12.255.5"; "10.12.255.6" ])))
+    ebgp
+
+let r4 =
+  backbone "R4" "10.12.255.4"
+    [ ("10.12.1.1", "255.255.255.252"); ("10.12.1.5", "255.255.255.252") ]
+    " neighbor 192.0.2.2 remote-as 7018\n"
+  ^ {|!
+interface Serial3/0 point-to-point
+ ip address 192.0.2.1 255.255.255.252
+|}
+
+let r5 =
+  backbone "R5" "10.12.255.5"
+    [ ("10.12.1.2", "255.255.255.252"); ("10.12.1.9", "255.255.255.252") ]
+    ""
+
+let r6 =
+  backbone "R6" "10.12.255.6"
+    [ ("10.12.1.6", "255.255.255.252"); ("10.12.1.10", "255.255.255.252") ]
+    " neighbor 66.253.160.67 remote-as 64780\n"
+  ^ {|!
+interface Hssi0/0 point-to-point
+ ip address 66.253.160.68 255.255.255.252
+|}
+
+let () =
+  let files =
+    [ ("R1", r1); ("R2", enterprise_border); ("R3", r3); ("R4", r4); ("R5", r5); ("R6", r6) ]
+  in
+  print_endline "=== parsing 6 configuration files (R7 is outside the data set) ===";
+  let analysis = Rd_core.Analysis.analyze ~name:"figure1" files in
+  print_string (Rd_core.Analysis.summary analysis);
+
+  print_endline "\n=== routing instances (Figure 6) ===";
+  Array.iter
+    (fun i -> print_endline ("  " ^ Rd_routing.Instance.to_string i))
+    analysis.graph.assignment.instances;
+  Printf.printf "  external ASs peered: %s\n"
+    (String.concat ", "
+       (List.map string_of_int (Rd_routing.Instance_graph.external_asns analysis.graph)));
+
+  print_endline "\n=== route pathway graphs (Figure 7) ===";
+  (match Rd_topo.Topology.router_index analysis.topo "R1" with
+   | Some ri ->
+     print_string (Rd_routing.Pathway.render analysis.graph (Rd_routing.Pathway.build analysis.graph ~router:ri))
+   | None -> ());
+  (match Rd_topo.Topology.router_index analysis.topo "R5" with
+   | Some ri ->
+     print_string (Rd_routing.Pathway.render analysis.graph (Rd_routing.Pathway.build analysis.graph ~router:ri))
+   | None -> ());
+
+  print_endline "\n=== routing process graph (Figure 5) ===";
+  let pg = Rd_routing.Process_graph.build analysis.catalog in
+  print_string (Rd_routing.Process_graph.render pg);
+  Printf.printf "(%d vertices, %d edges; `rdna dot` exports graphviz)\n"
+    (List.length (Rd_routing.Process_graph.vertices pg))
+    (List.length pg.edges);
+
+  print_endline "\n=== address-space structure (§3.4) ===";
+  print_string (Rd_addrspace.Blocks.render analysis.blocks);
+
+  print_endline "\n=== reachability (§6.2-style) ===";
+  let r = Rd_reach.Reachability.compute analysis.graph in
+  let host s = Rd_addr.Ipv4.of_string_exn s in
+  Printf.printf "  enterprise host 66.251.76.10 -> backbone 10.12.1.2: %b\n"
+    (Rd_reach.Reachability.can_reach r ~src:(host "66.251.76.10") ~dst:(host "10.12.1.2"));
+  Printf.printf "  enterprise host -> Internet destination 198.51.100.1: %b\n"
+    (Rd_reach.Reachability.can_reach r ~src:(host "66.251.76.10") ~dst:(host "198.51.100.1"))

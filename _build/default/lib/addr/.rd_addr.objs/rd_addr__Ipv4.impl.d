@@ -1,0 +1,1 @@
+lib/addr/ipv4.ml: Char Format Int Printf String

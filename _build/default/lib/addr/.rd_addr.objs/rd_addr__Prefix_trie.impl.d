@@ -1,0 +1,1 @@
+lib/addr/prefix_trie.ml: Ipv4 List Option Prefix

@@ -1,0 +1,1 @@
+lib/addr/wildcard.ml: Format Ipv4 Prefix Printf

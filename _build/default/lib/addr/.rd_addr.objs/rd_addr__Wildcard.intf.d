@@ -1,0 +1,1 @@
+lib/addr/wildcard.mli: Format Ipv4 Prefix

@@ -1,0 +1,54 @@
+(** Sets of IPv4 addresses represented as binary tries of prefixes.
+
+    The representation is canonical: two sets are semantically equal iff
+    they are structurally equal.  This is the workhorse for reasoning about
+    routing policies — e.g. the paper's net15 result that the route sets
+    admitted by policies on opposite sides of the network have empty
+    intersection (A2 ∩ A5 = ∅, §6.2). *)
+
+type t
+
+val empty : t
+val full : t
+(** The whole IPv4 space. *)
+
+val of_prefix : Prefix.t -> t
+val of_prefixes : Prefix.t list -> t
+val singleton : Ipv4.t -> t
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val complement : t -> t
+
+val add : Prefix.t -> t -> t
+val remove : Prefix.t -> t -> t
+
+val is_empty : t -> bool
+val is_full : t -> bool
+val equal : t -> t -> bool
+val subset : t -> t -> bool
+(** [subset a b]: [a] ⊆ [b]. *)
+
+val mem : Ipv4.t -> t -> bool
+val mem_prefix : Prefix.t -> t -> bool
+(** Whole prefix covered. *)
+
+val overlaps : t -> t -> bool
+
+val to_prefixes : t -> Prefix.t list
+(** Minimal list of disjoint prefixes covering exactly the set, in address
+    order. *)
+
+val count_addresses : t -> int
+(** Number of addresses in the set (beware: can be [2^32]). *)
+
+type view = Empty_v | Full_v | Split_v of t * t
+
+val view : t -> view
+(** Structural view of the canonical trie: either the set is empty, or it
+    covers the whole (sub)space, or it splits into the zero-bit and
+    one-bit halves.  Lets algorithms walk the trie in lockstep with their
+    own recursion without re-intersecting. *)
+
+val pp : Format.formatter -> t -> unit

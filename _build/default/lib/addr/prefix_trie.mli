@@ -1,0 +1,42 @@
+(** Maps keyed by prefix with longest-prefix-match lookup.
+
+    Forwarding decisions (next-hop selection) and address-block association
+    both need "most specific covering prefix" queries; this trie provides
+    them in O(32) per lookup. *)
+
+type 'a t
+
+val empty : 'a t
+
+val is_empty : 'a t -> bool
+
+val add : Prefix.t -> 'a -> 'a t -> 'a t
+(** Bind a prefix, replacing any existing binding of the same prefix. *)
+
+val remove : Prefix.t -> 'a t -> 'a t
+
+val find : Prefix.t -> 'a t -> 'a option
+(** Exact-prefix lookup. *)
+
+val longest_match : Ipv4.t -> 'a t -> (Prefix.t * 'a) option
+(** Most specific bound prefix containing the address. *)
+
+val matches : Ipv4.t -> 'a t -> (Prefix.t * 'a) list
+(** All bound prefixes containing the address, shortest first. *)
+
+val covering : Prefix.t -> 'a t -> (Prefix.t * 'a) option
+(** Most specific bound prefix that contains the whole query prefix. *)
+
+val covered_by : Prefix.t -> 'a t -> (Prefix.t * 'a) list
+(** All bindings whose prefix is inside the query prefix. *)
+
+val fold : (Prefix.t -> 'a -> 'b -> 'b) -> 'a t -> 'b -> 'b
+(** Fold over bindings in address order. *)
+
+val iter : (Prefix.t -> 'a -> unit) -> 'a t -> unit
+
+val bindings : 'a t -> (Prefix.t * 'a) list
+
+val cardinal : 'a t -> int
+
+val update : Prefix.t -> ('a option -> 'a option) -> 'a t -> 'a t

@@ -1,0 +1,48 @@
+type t = { base : Ipv4.t; wild : Ipv4.t }
+
+let make base wild =
+  let w = Ipv4.to_int wild in
+  { base = Ipv4.of_int (Ipv4.to_int base land lnot w land 0xFFFFFFFF); wild }
+
+let base t = t.base
+let wild t = t.wild
+
+let matches t a =
+  let w = Ipv4.to_int t.wild in
+  Ipv4.to_int a land lnot w land 0xFFFFFFFF = Ipv4.to_int t.base
+
+let is_contiguous t =
+  let w = Ipv4.to_int t.wild in
+  (* contiguous wildcard = 2^k - 1 *)
+  w land (w + 1) = 0
+
+let of_prefix p = make (Prefix.addr p) (Prefix.hostmask p)
+
+let to_prefix t =
+  if not (is_contiguous t) then None
+  else begin
+    let w = Ipv4.to_int t.wild in
+    let rec bits x acc = if x = 0 then acc else bits (x lsr 1) (acc + 1) in
+    Some (Prefix.make t.base (32 - bits w 0))
+  end
+
+let matches_prefix t p =
+  (* All addresses of p match iff the fixed (non-wildcard) bits of the
+     wildcard are inside p's network part and agree with p's bits. *)
+  let w = Ipv4.to_int t.wild in
+  let hostbits = Prefix.size p - 1 in
+  (* every host bit of p must be wildcarded *)
+  hostbits land lnot w land 0xFFFFFFFF = 0
+  && Ipv4.to_int (Prefix.addr p) land lnot w land 0xFFFFFFFF = Ipv4.to_int t.base
+
+let any = make Ipv4.zero Ipv4.broadcast_all
+
+let host a = make a Ipv4.zero
+
+let to_string t = Printf.sprintf "%s %s" (Ipv4.to_string t.base) (Ipv4.to_string t.wild)
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let compare a b =
+  match Ipv4.compare a.base b.base with 0 -> Ipv4.compare a.wild b.wild | c -> c
+
+let equal a b = compare a b = 0

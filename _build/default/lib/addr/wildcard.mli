@@ -1,0 +1,43 @@
+(** Cisco wildcard (inverse) masks.
+
+    A wildcard pair [base/wild] matches address [a] iff the bits of [a]
+    agree with [base] everywhere the wildcard bit is 0.  Unlike netmasks,
+    wildcard bits need not be contiguous, so a wildcard match is strictly
+    more general than a prefix match.  Wildcards appear in `network`
+    statements and access-list clauses. *)
+
+type t = private { base : Ipv4.t; wild : Ipv4.t }
+
+val make : Ipv4.t -> Ipv4.t -> t
+(** [make base wild]; [base] is normalized so wildcard bits are zero. *)
+
+val base : t -> Ipv4.t
+val wild : t -> Ipv4.t
+
+val matches : t -> Ipv4.t -> bool
+
+val matches_prefix : t -> Prefix.t -> bool
+(** [matches_prefix w p]: every address of [p] matches [w].  Exact for
+    contiguous wildcards; for non-contiguous wildcards this holds iff the
+    prefix's free bits are all wildcarded and fixed bits agree. *)
+
+val of_prefix : Prefix.t -> t
+(** The contiguous wildcard equivalent to the prefix. *)
+
+val to_prefix : t -> Prefix.t option
+(** [Some p] when the wildcard is contiguous, [None] otherwise. *)
+
+val any : t
+(** Matches everything (0.0.0.0 255.255.255.255). *)
+
+val host : Ipv4.t -> t
+(** Matches exactly one address. *)
+
+val is_contiguous : t -> bool
+
+val to_string : t -> string
+(** ["base wild"] in Cisco config notation. *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+val compare : t -> t -> int

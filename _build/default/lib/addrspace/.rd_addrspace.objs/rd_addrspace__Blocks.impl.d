@@ -1,0 +1,1 @@
+lib/addrspace/blocks.ml: Array Ipv4 List Option Prefix Prefix_set Printf Rd_addr Rd_config Rd_topo Rd_util

@@ -1,0 +1,1 @@
+lib/addrspace/blocks.mli: Ipv4 Prefix Rd_addr Rd_config Rd_topo

@@ -1,0 +1,43 @@
+(** Address-space structure discovery (paper §3.4).
+
+    The discovery repeatedly joins pairs of blocks whose network numbers
+    differ in no more than the least two bits of the shorter mask —
+    i.e. whose common supernet grows a mask by at most two bits — as long
+    as at least half of the addresses in the enlarged block are used
+    (the paper's exact rule), until no more joins are possible.  The
+    result is the set of address blocks that summarize the network's
+    addressing plan. *)
+
+open Rd_addr
+
+type block = {
+  prefix : Prefix.t;
+  used_addresses : int;  (** addresses of the block covered by subnets. *)
+  subnets : Prefix.t list;  (** the original subnets inside the block. *)
+}
+
+val discover : ?threshold:float -> Prefix.t list -> block list
+(** [discover subnets] with [threshold] defaulting to the paper's 0.5.
+    Returns maximal blocks in address order.  [threshold] must be in
+    (0, 1]. *)
+
+val subnets_of_configs : (string * Rd_config.Ast.t) list -> Prefix.t list
+(** Every subnet mentioned in the configurations: interface subnets and
+    static-route destinations (deduplicated). *)
+
+val block_of : block list -> Ipv4.t -> block option
+(** The block containing an address, if any. *)
+
+type suspect = {
+  iface : Rd_topo.Topology.iface;
+  inside : block;  (** the internal block the lone interface sits in. *)
+}
+
+val suspect_missing_routers : Rd_topo.Topology.t -> block list -> suspect list
+(** External-facing interfaces whose address lies in the middle of a block
+    heavily used by internal-facing interfaces — likely evidence that the
+    peer router's configuration file is missing from the data set
+    (paper §3.4). *)
+
+val render : block list -> string
+(** One line per block: prefix, usage, subnet count. *)

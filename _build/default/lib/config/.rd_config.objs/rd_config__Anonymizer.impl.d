@@ -1,0 +1,1 @@
+lib/config/anonymizer.ml: Buffer Bytes Char Hashtbl Int64 Ipv4 List Prefix Printf Rd_addr Rd_util Sha1 String

@@ -1,0 +1,1 @@
+lib/config/anonymizer.mli: Rd_addr

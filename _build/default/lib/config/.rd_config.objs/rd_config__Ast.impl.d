@@ -1,0 +1,1 @@
+lib/config/ast.ml: Ipv4 List Option Prefix Rd_addr String Wildcard

@@ -1,0 +1,1 @@
+lib/config/lexer.ml: List String

@@ -1,0 +1,1 @@
+lib/config/parser.ml: Ast Int Ipv4 Lexer List Option Prefix Rd_addr String Wildcard

@@ -1,0 +1,1 @@
+lib/config/printer.ml: Ast Buffer Ipv4 List Prefix Printf Rd_addr String Wildcard

@@ -1,0 +1,179 @@
+open Rd_addr
+open Rd_util
+
+type t = { key : string; token_cache : (string, string) Hashtbl.t }
+
+let create ~key = { key; token_cache = Hashtbl.create 256 }
+
+(* --- dictionary -------------------------------------------------------- *)
+
+let dictionary_words =
+  [
+    (* structural commands *)
+    "hostname"; "interface"; "router"; "ip"; "no"; "access-list"; "access-group";
+    "route-map"; "match"; "set"; "permit"; "deny"; "address"; "network"; "area";
+    "redistribute"; "distribute-list"; "neighbor"; "remote-as"; "route"; "mask";
+    "metric"; "metric-type"; "subnets"; "tag"; "local-preference"; "passive-interface";
+    "default-information"; "originate"; "maximum-paths"; "router-id"; "unnumbered";
+    "secondary"; "shutdown"; "point-to-point"; "update-source"; "next-hop-self";
+    "route-reflector-client"; "description"; "standard"; "extended"; "version";
+    "auto-summary"; "synchronization"; "log-adjacency-changes"; "classless";
+    (* protocols *)
+    "ospf"; "eigrp"; "igrp"; "rip"; "bgp"; "isis"; "connected"; "static";
+    (* ACL words *)
+    "any"; "host"; "eq"; "gt"; "lt"; "range"; "log"; "established";
+    "tcp"; "udp"; "icmp"; "igmp"; "pim"; "gre"; "esp"; "ahp";
+    (* encapsulation / misc accepted sub-commands *)
+    "frame-relay"; "interface-dlci"; "encapsulation"; "bandwidth"; "mtu"; "delay";
+    "keepalive"; "cdp"; "enable"; "duplex"; "speed"; "full"; "half"; "auto";
+    "service"; "end"; "line"; "snmp-server"; "ntp"; "logging"; "banner"; "clock";
+    "in"; "out";
+  ]
+
+let interface_kinds =
+  [
+    "Ethernet"; "FastEthernet"; "GigabitEthernet"; "Serial"; "Hssi"; "POS"; "ATM";
+    "TokenRing"; "Fddi"; "Loopback"; "Tunnel"; "Dialer"; "BRI"; "Port-channel";
+    "Multilink"; "Null"; "Async"; "Virtual-Template"; "CBR"; "Channel"; "Vlan";
+  ]
+
+let dictionary =
+  let tbl = Hashtbl.create 256 in
+  List.iter (fun w -> Hashtbl.replace tbl w ()) dictionary_words;
+  tbl
+
+let is_interface_name tok =
+  (* An interface token is a known kind followed by digits / '/' '.' ':' *)
+  List.exists
+    (fun kind ->
+      let kl = String.length kind in
+      String.length tok >= kl
+      && String.sub tok 0 kl = kind
+      && String.for_all
+           (fun c -> (c >= '0' && c <= '9') || c = '/' || c = '.' || c = ':')
+           (String.sub tok kl (String.length tok - kl)))
+    interface_kinds
+
+let in_dictionary tok = Hashtbl.mem dictionary tok || is_interface_name tok
+
+(* --- primitive anonymizers -------------------------------------------- *)
+
+let is_integer tok = tok <> "" && String.for_all (fun c -> c >= '0' && c <= '9') tok
+
+let base62 = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+let anonymize_token t tok =
+  match Hashtbl.find_opt t.token_cache tok with
+  | Some v -> v
+  | None ->
+    let digest = Sha1.digest_string (t.key ^ "\x01" ^ tok) in
+    let buf = Bytes.create 11 in
+    for i = 0 to 10 do
+      Bytes.set buf i base62.[Char.code digest.[i] mod 62]
+    done;
+    let v = Bytes.to_string buf in
+    Hashtbl.replace t.token_cache tok v;
+    v
+
+(* Prefix-preserving bit-by-bit anonymization: output bit i is input bit i
+   xored with a PRF of the first i input bits (the tcpdpriv / Crypto-PAn
+   construction). *)
+let anonymize_addr t a =
+  let x = Ipv4.to_int a in
+  let out = ref 0 in
+  for i = 0 to 31 do
+    let prefix = if i = 0 then 0 else x lsr (32 - i) in
+    let flip =
+      Int64.to_int (Int64.logand (Sha1.prf ~key:t.key (Printf.sprintf "ip:%d:%d" i prefix)) 1L)
+    in
+    let bit = (x lsr (31 - i)) land 1 in
+    out := (!out lsl 1) lor (bit lxor flip)
+  done;
+  Ipv4.of_int !out
+
+let private_as n = n >= 64512 && n <= 65534
+
+let anonymize_as t n =
+  if n = 0 || private_as n || n > 65535 then n
+  else begin
+    let h = Sha1.prf ~key:t.key (Printf.sprintf "as:%d" n) in
+    1 + Int64.to_int (Int64.rem (Int64.logand h Int64.max_int) 64511L)
+  end
+
+(* A token that parses as an address but is really a mask must be kept:
+   contiguous netmasks (ones then zeros) and contiguous wildcards (zeros
+   then ones). *)
+let is_mask_like x =
+  let v = Ipv4.to_int x in
+  let netmask = Prefix.of_addr_mask Ipv4.zero x <> None in
+  let wildcard = v land (v + 1) = 0 in
+  netmask || wildcard
+
+(* --- whole-config anonymization ---------------------------------------- *)
+
+let anonymize_line t prev_words words =
+  (* [prev_words] = words already emitted on this line (original forms),
+     used for context such as "remote-as <n>" and "router bgp <n>". *)
+  let rec go acc prev = function
+    | [] -> List.rev acc
+    | tok :: rest ->
+      let anon =
+        match Ipv4.of_string tok with
+        | Some a when not (is_mask_like a) -> Ipv4.to_string (anonymize_addr t a)
+        | Some _ -> tok
+        | None ->
+          if is_integer tok then begin
+            let as_context =
+              match prev with
+              | "remote-as" :: _ -> true
+              | "bgp" :: "router" :: _ -> true
+              | "bgp" :: "redistribute" :: _ -> true
+              | _ -> false
+            in
+            if as_context then begin
+              (* a digits-only token can still overflow int *)
+              match int_of_string_opt tok with
+              | Some v -> string_of_int (anonymize_as t v)
+              | None -> tok
+            end
+            else tok
+          end
+          else if in_dictionary tok then tok
+          else anonymize_token t tok
+      in
+      go (anon :: acc) (tok :: prev) rest
+  in
+  go [] prev_words words
+
+let anonymize_config t text =
+  let lines = String.split_on_char '\n' text in
+  let out = Buffer.create (String.length text) in
+  List.iter
+    (fun line ->
+      let trimmed = String.trim line in
+      if trimmed = "" then Buffer.add_char out '\n'
+      else if trimmed.[0] = '!' then Buffer.add_string out "!\n" (* comment text removed *)
+      else begin
+        let indent = if line.[0] = ' ' then 1 else 0 in
+        let words = List.filter (fun w -> w <> "") (String.split_on_char ' ' trimmed) in
+        (* description arguments are free text: drop them entirely after
+           hashing to a single token, they carry only identity. *)
+        let words =
+          match words with
+          | "description" :: _ :: _ -> [ "description"; anonymize_token t (String.concat " " (List.tl words)) ]
+          | "neighbor" :: ip :: "description" :: d :: ds ->
+            [ "neighbor"; ip; "description"; anonymize_token t (String.concat " " (d :: ds)) ]
+          | _ -> words
+        in
+        let anon = anonymize_line t [] words in
+        if indent = 1 then Buffer.add_char out ' ';
+        Buffer.add_string out (String.concat " " anon);
+        Buffer.add_char out '\n'
+      end)
+    lines;
+  (* Drop the trailing extra newline added for the final empty segment. *)
+  let s = Buffer.contents out in
+  if String.length s > 0 && text <> "" && text.[String.length text - 1] <> '\n' then
+    String.sub s 0 (String.length s - 1)
+  else if String.length s > String.length text then String.sub s 0 (String.length s - 1)
+  else s

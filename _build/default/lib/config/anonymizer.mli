@@ -1,0 +1,40 @@
+(** Structure-preserving configuration anonymization (paper §4.1).
+
+    The strategy follows the paper's anonymizer exactly in spirit:
+
+    - comment lines are removed;
+    - tokens found in the command dictionary (anything that could appear in
+      the vendor command reference) pass through unchanged;
+    - all other non-numeric tokens are replaced by a fixed-length string
+      derived from their SHA-1 digest, so equal tokens map to equal
+      replacements across the whole network;
+    - simple integers pass through, except public AS numbers, which are
+      remapped deterministically into the public AS range (private AS
+      numbers 64512-65534 are kept — they carry no identity);
+    - IP addresses are anonymized prefix-preservingly (tcpdpriv style):
+      two addresses sharing a k-bit prefix share exactly a k-bit prefix
+      after anonymization, so subnet matching still works on the
+      anonymized files;
+    - netmasks and wildcard masks are recognized and left intact.
+
+    All mappings are keyed: the same [key] reproduces the same mapping. *)
+
+type t
+
+val create : key:string -> t
+
+val anonymize_addr : t -> Rd_addr.Ipv4.t -> Rd_addr.Ipv4.t
+(** Prefix-preserving address mapping. *)
+
+val anonymize_token : t -> string -> string
+(** Replacement for a single free-form token (stable per [t]). *)
+
+val anonymize_as : t -> int -> int
+(** Public AS numbers are remapped into [\[1, 64511\]]; private AS numbers
+    and 0 are returned unchanged. *)
+
+val anonymize_config : t -> string -> string
+(** Anonymize a whole configuration file. *)
+
+val in_dictionary : string -> bool
+(** Whether a token is part of the command dictionary (never hashed). *)

@@ -1,0 +1,15 @@
+(** Tolerant parser for the IOS-dialect configuration language.
+
+    The parser models the subset of the language that carries routing
+    design (interfaces, routing processes, policies, filters, static
+    routes) and preserves everything else verbatim in [Ast.unknown] — the
+    paper's methodology requires never failing on an unrecognized command,
+    because real configurations are full of them. *)
+
+val parse : string -> Ast.t
+(** Parse a whole configuration file.  Never raises on unknown commands;
+    malformed arguments of known commands demote the line to [unknown]. *)
+
+val parse_file : string -> Ast.t
+(** Read a file from disk and parse it.  Raises [Sys_error] on IO
+    failure. *)

@@ -1,0 +1,215 @@
+open Rd_addr
+
+let dir = Ast.direction_to_string
+
+let interface_to_lines (i : Ast.interface) =
+  let header =
+    Printf.sprintf "interface %s%s" i.if_name (if i.point_to_point then " point-to-point" else "")
+  in
+  let body =
+    (match i.if_description with
+     | Some d -> [ Printf.sprintf " description %s" d ]
+     | None -> [])
+    @ (match i.if_address with
+       | Some (a, m) -> [ Printf.sprintf " ip address %s %s" (Ipv4.to_string a) (Ipv4.to_string m) ]
+       | None -> [])
+    @ List.map
+        (fun (a, m) ->
+          Printf.sprintf " ip address %s %s secondary" (Ipv4.to_string a) (Ipv4.to_string m))
+        i.secondary_addresses
+    @ (match i.unnumbered with
+       | Some u -> [ Printf.sprintf " ip unnumbered %s" u ]
+       | None -> [])
+    @ List.map (fun (acl, d) -> Printf.sprintf " ip access-group %s %s" acl (dir d)) i.access_groups
+    @ (if i.shutdown then [ " shutdown" ] else [])
+    @ List.map (fun e -> if String.length e > 0 && e.[0] = ' ' then e else " " ^ e) i.if_extras
+  in
+  header :: body
+
+let redist_to_line (r : Ast.redistribute) =
+  let source =
+    match r.source with
+    | Ast.From_connected -> "connected"
+    | Ast.From_static -> "static"
+    | Ast.From_protocol (p, None) -> Ast.protocol_to_string p
+    | Ast.From_protocol (p, Some id) -> Printf.sprintf "%s %d" (Ast.protocol_to_string p) id
+  in
+  let opt name = function Some v -> Printf.sprintf " %s %d" name v | None -> "" in
+  Printf.sprintf " redistribute %s%s%s%s%s" source (opt "metric" r.metric)
+    (opt "metric-type" r.metric_type)
+    (if r.subnets then " subnets" else "")
+    (match r.route_map with Some m -> " route-map " ^ m | None -> "")
+
+let network_to_line = function
+  | Ast.Net_wildcard (w, None) -> Printf.sprintf " network %s" (Wildcard.to_string w)
+  | Ast.Net_wildcard (w, Some area) -> Printf.sprintf " network %s area %d" (Wildcard.to_string w) area
+  | Ast.Net_classful a -> Printf.sprintf " network %s" (Ipv4.to_string a)
+  | Ast.Net_mask p ->
+    Printf.sprintf " network %s mask %s" (Ipv4.to_string (Prefix.addr p))
+      (Ipv4.to_string (Prefix.netmask p))
+
+let neighbor_to_lines (n : Ast.neighbor) =
+  let peer = Ipv4.to_string n.peer in
+  [ Printf.sprintf " neighbor %s remote-as %d" peer n.remote_as ]
+  @ (match n.nb_description with
+     | Some d -> [ Printf.sprintf " neighbor %s description %s" peer d ]
+     | None -> [])
+  @ (match n.update_source with
+     | Some u -> [ Printf.sprintf " neighbor %s update-source %s" peer u ]
+     | None -> [])
+  @ List.map (fun (acl, d) -> Printf.sprintf " neighbor %s distribute-list %s %s" peer acl (dir d)) n.nb_dlists
+  @ List.map (fun (pl, d) -> Printf.sprintf " neighbor %s prefix-list %s %s" peer pl (dir d)) n.nb_prefix_lists
+  @ List.map (fun (rm, d) -> Printf.sprintf " neighbor %s route-map %s %s" peer rm (dir d)) n.nb_route_maps
+  @ (if n.next_hop_self then [ Printf.sprintf " neighbor %s next-hop-self" peer ] else [])
+  @
+  if n.route_reflector_client then [ Printf.sprintf " neighbor %s route-reflector-client" peer ]
+  else []
+
+let process_to_lines (p : Ast.router_process) =
+  let header =
+    match p.proc_id with
+    | Some id -> Printf.sprintf "router %s %d" (Ast.protocol_to_string p.protocol) id
+    | None -> Printf.sprintf "router %s" (Ast.protocol_to_string p.protocol)
+  in
+  let body =
+    (match p.proc_router_id with
+     | Some a -> [ Printf.sprintf " router-id %s" (Ipv4.to_string a) ]
+     | None -> [])
+    @ List.map
+        (fun (pr, summary_only) ->
+          Printf.sprintf " aggregate-address %s %s%s"
+            (Ipv4.to_string (Prefix.addr pr))
+            (Ipv4.to_string (Prefix.netmask pr))
+            (if summary_only then " summary-only" else ""))
+        p.aggregates
+    @ List.map redist_to_line p.redistributes
+    @ List.map network_to_line p.networks
+    @ List.map
+        (fun (d : Ast.distribute_list) ->
+          match d.dl_interface with
+          | None -> Printf.sprintf " distribute-list %s %s" d.dl_acl (dir d.dl_direction)
+          | Some i -> Printf.sprintf " distribute-list %s %s %s" d.dl_acl (dir d.dl_direction) i)
+        p.dlists
+    @ List.concat_map neighbor_to_lines p.neighbors
+    @ List.map (fun i -> Printf.sprintf " passive-interface %s" i) p.passive_interfaces
+    @ (if p.default_originate then [ " default-information originate" ] else [])
+    @ (match p.maximum_paths with
+       | Some n -> [ Printf.sprintf " maximum-paths %d" n ]
+       | None -> [])
+  in
+  header :: body
+
+let port_to_string = function
+  | Ast.Port_eq p -> Printf.sprintf " eq %d" p
+  | Ast.Port_gt p -> Printf.sprintf " gt %d" p
+  | Ast.Port_lt p -> Printf.sprintf " lt %d" p
+  | Ast.Port_range (a, b) -> Printf.sprintf " range %d %d" a b
+
+let wildcard_spec w =
+  if Wildcard.equal w Wildcard.any then "any"
+  else if Ipv4.equal (Wildcard.wild w) Ipv4.zero then "host " ^ Ipv4.to_string (Wildcard.base w)
+  else Wildcard.to_string w
+
+let clause_body (c : Ast.acl_clause) =
+  match c.ip_proto with
+  | None ->
+    (* standard clause: source only; bare base address means host match *)
+    if Wildcard.equal c.src Wildcard.any then "any"
+    else if Ipv4.equal (Wildcard.wild c.src) Ipv4.zero then Ipv4.to_string (Wildcard.base c.src)
+    else Wildcard.to_string c.src
+  | Some proto ->
+    let dst = match c.dst with Some d -> d | None -> Wildcard.any in
+    Printf.sprintf "%s %s%s %s%s" proto (wildcard_spec c.src)
+      (match c.src_port with Some p -> port_to_string p | None -> "")
+      (wildcard_spec dst)
+      (match c.dst_port with Some p -> port_to_string p | None -> "")
+
+let acl_to_lines (a : Ast.acl) =
+  let numbered = int_of_string_opt a.acl_name <> None in
+  if numbered then
+    List.map
+      (fun (c : Ast.acl_clause) ->
+        Printf.sprintf "access-list %s %s %s" a.acl_name
+          (Ast.action_to_string c.clause_action)
+          (clause_body c))
+      a.clauses
+  else begin
+    let kind = if a.extended then "extended" else "standard" in
+    Printf.sprintf "ip access-list %s %s" kind a.acl_name
+    :: List.map
+         (fun (c : Ast.acl_clause) ->
+           Printf.sprintf " %s %s" (Ast.action_to_string c.clause_action) (clause_body c))
+         a.clauses
+  end
+
+let route_map_to_lines (r : Ast.route_map) =
+  List.concat_map
+    (fun (e : Ast.route_map_entry) ->
+      let header =
+        Printf.sprintf "route-map %s %s %d" r.rm_name (Ast.action_to_string e.rm_action) e.seq
+      in
+      let body =
+        (if e.match_acls = [] then []
+         else [ " match ip address " ^ String.concat " " e.match_acls ])
+        @ (if e.match_prefix_lists = [] then []
+           else [ " match ip address prefix-list " ^ String.concat " " e.match_prefix_lists ])
+        @ (if e.match_tags = [] then []
+           else [ " match tag " ^ String.concat " " (List.map string_of_int e.match_tags) ])
+        @ (match e.set_tag with Some t -> [ Printf.sprintf " set tag %d" t ] | None -> [])
+        @ (match e.set_metric with Some m -> [ Printf.sprintf " set metric %d" m ] | None -> [])
+        @
+        match e.set_local_pref with
+        | Some l -> [ Printf.sprintf " set local-preference %d" l ]
+        | None -> []
+      in
+      header :: body)
+    r.entries
+
+let prefix_list_to_lines (pl : Ast.prefix_list) =
+  List.map
+    (fun (e : Ast.prefix_list_entry) ->
+      Printf.sprintf "ip prefix-list %s seq %d %s %s%s%s" pl.pl_name e.pl_seq
+        (Ast.action_to_string e.pl_action)
+        (Prefix.to_string e.pl_prefix)
+        (match e.pl_ge with Some g -> Printf.sprintf " ge %d" g | None -> "")
+        (match e.pl_le with Some l -> Printf.sprintf " le %d" l | None -> ""))
+    pl.pl_entries
+
+let static_to_line (s : Ast.static_route) =
+  let nh = match s.sr_next_hop with Ast.Nh_addr a -> Ipv4.to_string a | Ast.Nh_iface i -> i in
+  Printf.sprintf "ip route %s %s %s%s"
+    (Ipv4.to_string (Prefix.addr s.sr_dest))
+    (Ipv4.to_string (Prefix.netmask s.sr_dest))
+    nh
+    (match s.sr_distance with Some d -> Printf.sprintf " %d" d | None -> "")
+
+let to_string (t : Ast.t) =
+  let buf = Buffer.create 4096 in
+  let emit line =
+    Buffer.add_string buf line;
+    Buffer.add_char buf '\n'
+  in
+  let sep () = emit "!" in
+  (match t.hostname with
+   | Some h ->
+     emit (Printf.sprintf "hostname %s" h);
+     sep ()
+   | None -> ());
+  List.iter
+    (fun i ->
+      List.iter emit (interface_to_lines i);
+      sep ())
+    t.interfaces;
+  List.iter
+    (fun p ->
+      List.iter emit (process_to_lines p);
+      sep ())
+    t.processes;
+  List.iter (fun a -> List.iter emit (acl_to_lines a)) t.acls;
+  if t.acls <> [] then sep ();
+  List.iter (fun r -> List.iter emit (route_map_to_lines r)) t.route_maps;
+  if t.route_maps <> [] then sep ();
+  List.iter (fun pl -> List.iter emit (prefix_list_to_lines pl)) t.prefix_lists;
+  if t.prefix_lists <> [] then sep ();
+  List.iter (fun s -> emit (static_to_line s)) t.statics;
+  Buffer.contents buf

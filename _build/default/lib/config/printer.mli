@@ -1,0 +1,15 @@
+(** Render an AST back to IOS-dialect configuration text.
+
+    [Parser.parse (to_string c)] recovers [c] up to field order — this
+    round trip is property-tested, and it is how the synthetic network
+    generator produces the raw configuration files consumed by the
+    analysis pipeline. *)
+
+val to_string : Ast.t -> string
+
+val interface_to_lines : Ast.interface -> string list
+val process_to_lines : Ast.router_process -> string list
+val acl_to_lines : Ast.acl -> string list
+val route_map_to_lines : Ast.route_map -> string list
+val prefix_list_to_lines : Ast.prefix_list -> string list
+val static_to_line : Ast.static_route -> string

@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Array Buffer Int List Printf Rd_addrspace Rd_config Rd_policy Rd_routing Rd_topo

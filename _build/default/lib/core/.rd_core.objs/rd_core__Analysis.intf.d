@@ -1,0 +1,1 @@
+lib/core/analysis.mli: Rd_addrspace Rd_config Rd_policy Rd_routing Rd_topo

@@ -1,0 +1,1 @@
+lib/core/audit.ml: Analysis Array Ast Buffer Hashtbl Ipv4 List Option Prefix Printf Rd_addr Rd_config Rd_routing Rd_topo String

@@ -1,0 +1,1 @@
+lib/core/design_class.ml: Analysis Array Ast Int List Rd_config Rd_routing

@@ -1,0 +1,1 @@
+lib/core/inventory.ml: Analysis Array Ast Buffer Fun Hashtbl Int List Prefix Printf Rd_addr Rd_addrspace Rd_config Rd_topo Rd_util String

@@ -1,0 +1,1 @@
+lib/core/inventory.mli: Analysis Rd_addr Rd_config Rd_topo

@@ -1,0 +1,1 @@
+lib/core/roles.ml: Analysis Array Ast List Rd_config Rd_routing

@@ -1,0 +1,1 @@
+lib/core/roles.mli: Analysis Ast Rd_config Rd_routing

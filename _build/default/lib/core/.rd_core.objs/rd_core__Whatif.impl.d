@@ -1,0 +1,1 @@
+lib/core/whatif.ml: Analysis Array Ast Buffer Hashtbl Ipv4 List Prefix Prefix_set Printf Rd_addr Rd_config Rd_reach Rd_routing Stdlib

@@ -1,0 +1,1 @@
+lib/core/whatif.mli: Analysis Rd_addr Rd_routing

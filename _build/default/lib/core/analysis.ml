@@ -1,0 +1,81 @@
+type t = {
+  name : string;
+  configs : (string * Rd_config.Ast.t) list;
+  topo : Rd_topo.Topology.t;
+  catalog : Rd_routing.Process.catalog;
+  graph : Rd_routing.Instance_graph.t;
+  blocks : Rd_addrspace.Blocks.block list;
+  filter_stats : Rd_policy.Filter_stats.placement;
+}
+
+let analyze_asts ~name configs =
+  let topo = Rd_topo.Topology.build configs in
+  let catalog = Rd_routing.Process.build topo in
+  let graph = Rd_routing.Instance_graph.build catalog in
+  let blocks = Rd_addrspace.Blocks.discover (Rd_addrspace.Blocks.subnets_of_configs configs) in
+  let filter_stats = Rd_policy.Filter_stats.analyze topo in
+  { name; configs; topo; catalog; graph; blocks; filter_stats }
+
+let analyze ~name files =
+  analyze_asts ~name (List.map (fun (f, text) -> (f, Rd_config.Parser.parse text)) files)
+
+let router_count t = Array.length t.topo.routers
+
+let instance_count t = Array.length t.graph.assignment.instances
+
+let instances t = Array.to_list t.graph.assignment.instances
+
+let largest_instance t =
+  List.fold_left
+    (fun best (i : Rd_routing.Instance.t) ->
+      match best with
+      | None -> Some i
+      | Some b -> if Rd_routing.Instance.size i > Rd_routing.Instance.size b then Some i else best)
+    None (instances t)
+
+let internal_bgp_asns t =
+  List.sort_uniq Int.compare (List.filter_map (fun (i : Rd_routing.Instance.t) -> i.asn) (instances t))
+
+let external_asns t = Rd_routing.Instance_graph.external_asns t.graph
+
+let config_sizes t = List.map (fun (_, (c : Rd_config.Ast.t)) -> c.total_lines) t.configs
+
+let summary t =
+  let buf = Buffer.create 512 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "network %s\n" t.name;
+  pf "  routers: %d, interfaces: %d (%d unnumbered)\n" (router_count t)
+    t.topo.total_interfaces t.topo.unnumbered_count;
+  pf "  links: %d, external-facing interfaces: %d\n" (List.length t.topo.links)
+    (List.length (Rd_topo.Topology.external_interfaces t.topo));
+  pf "  routing processes: %d in %d instances\n"
+    (Array.length t.catalog.processes)
+    (instance_count t);
+  let area_info = Rd_routing.Areas.analyze t.catalog t.graph.assignment in
+  List.iter
+    (fun (i : Rd_routing.Instance.t) ->
+      if Rd_routing.Instance.size i > 1 then begin
+        pf "    %s" (Rd_routing.Instance.to_string i);
+        (match
+           List.find_opt (fun (a : Rd_routing.Areas.t) -> a.inst_id = i.inst_id) area_info
+         with
+         | Some a when List.length a.areas > 1 ->
+           pf " [%d areas, %d ABRs]" (List.length a.areas) (List.length a.abrs)
+         | _ -> ());
+        (match Rd_routing.Instance_graph.ibgp_mesh_completeness t.graph i.inst_id with
+         | Some c -> pf " [ibgp mesh %.0f%%]" (100.0 *. c)
+         | None -> ());
+        pf "\n"
+      end)
+    (instances t);
+  let singletons =
+    List.length (List.filter (fun i -> Rd_routing.Instance.size i = 1) (instances t))
+  in
+  if singletons > 0 then pf "    (and %d single-router instances)\n" singletons;
+  pf "  internal BGP ASs: %d, external peer ASs: %d\n"
+    (List.length (internal_bgp_asns t))
+    (List.length (external_asns t));
+  pf "  address blocks: %d\n" (List.length t.blocks);
+  pf "  filter rules: %d total, %d on internal interfaces\n" t.filter_stats.total_rules
+    t.filter_stats.internal_rules;
+  Buffer.contents buf

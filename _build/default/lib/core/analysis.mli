@@ -1,0 +1,40 @@
+(** One-call analysis pipeline: configuration text to routing design.
+
+    This is the library's front door.  Given a network's configuration
+    files it runs, in order: parsing, link/topology inference, process
+    cataloguing, adjacency computation, routing-instance flood fill,
+    instance-graph construction, address-block discovery, and
+    packet-filter statistics — the full methodology of the paper. *)
+
+type t = {
+  name : string;
+  configs : (string * Rd_config.Ast.t) list;  (** (file name, parsed config). *)
+  topo : Rd_topo.Topology.t;
+  catalog : Rd_routing.Process.catalog;
+  graph : Rd_routing.Instance_graph.t;
+  blocks : Rd_addrspace.Blocks.block list;
+  filter_stats : Rd_policy.Filter_stats.placement;
+}
+
+val analyze : name:string -> (string * string) list -> t
+(** [analyze ~name files] where [files] are (file name, raw configuration
+    text) pairs. *)
+
+val analyze_asts : name:string -> (string * Rd_config.Ast.t) list -> t
+(** Entry point when configurations are already parsed. *)
+
+val router_count : t -> int
+val instance_count : t -> int
+val instances : t -> Rd_routing.Instance.t list
+val largest_instance : t -> Rd_routing.Instance.t option
+
+val internal_bgp_asns : t -> int list
+(** Distinct AS numbers of internal BGP instances. *)
+
+val external_asns : t -> int list
+
+val config_sizes : t -> int list
+(** Total line count per configuration file (paper Figure 4). *)
+
+val summary : t -> string
+(** Multi-line human-readable network summary. *)

@@ -1,0 +1,316 @@
+open Rd_addr
+open Rd_config
+
+type severity = Warning | Info
+
+type finding = {
+  severity : severity;
+  category : string;
+  router : string option;
+  message : string;
+}
+
+let finding ?router severity category fmt =
+  Printf.ksprintf (fun message -> { severity; category; router; message }) fmt
+
+let router_name (t : Analysis.t) ri = fst t.topo.routers.(ri)
+
+(* ------------------------------------------------- unfiltered peerings --- *)
+
+let unfiltered_peerings (t : Analysis.t) =
+  let acc = ref [] in
+  (* BGP sessions to the outside without route policy *)
+  List.iter
+    (fun (ep : Rd_routing.Adjacency.external_peering) ->
+      let p = t.catalog.processes.(ep.proc) in
+      let n =
+        List.find_opt (fun (n : Ast.neighbor) -> Ipv4.equal n.peer ep.peer_addr) p.ast.neighbors
+      in
+      match n with
+      | Some n when n.nb_dlists = [] && n.nb_route_maps = [] && n.nb_prefix_lists = [] ->
+        acc :=
+          finding ~router:(router_name t p.router) Warning "unfiltered-peering"
+            "EBGP session to AS %d (peer %s) has no distribute-list or route-map"
+            ep.remote_asn (Ipv4.to_string ep.peer_addr)
+          :: !acc
+      | _ -> ())
+    t.graph.adjacency.external_peerings;
+  (* external-facing interfaces without packet filters *)
+  Array.iter
+    (fun (i : Rd_topo.Topology.iface) ->
+      if Rd_topo.Topology.facing_of t.topo i.router i.if_index = Rd_topo.Topology.External
+      then begin
+        let cfg = snd t.topo.routers.(i.router) in
+        match Ast.find_interface cfg i.name with
+        | Some ifc when ifc.access_groups = [] ->
+          acc :=
+            finding ~router:(router_name t i.router) Warning "unfiltered-edge-interface"
+              "external-facing interface %s carries no packet filter" i.name
+            :: !acc
+        | _ -> ()
+      end)
+    t.topo.ifaces;
+  List.rev !acc
+
+(* --------------------------------------------- incomplete adjacencies --- *)
+
+let incomplete_adjacencies (t : Analysis.t) =
+  let acc = ref [] in
+  (* links where exactly one endpoint is covered by a same-protocol process *)
+  List.iter
+    (fun (l : Rd_topo.Topology.link) ->
+      let endpoints = l.endpoints in
+      if List.length endpoints >= 2 then begin
+        let covering (e : Rd_topo.Topology.iface) =
+          match e.address with
+          | None -> []
+          | Some (a, _) ->
+            List.filter_map
+              (fun pid ->
+                let p = t.catalog.processes.(pid) in
+                if p.protocol <> Ast.Bgp && Rd_routing.Process.covers p a then Some p.protocol
+                else None)
+              t.catalog.by_router.(e.router)
+        in
+        let protos = List.map covering endpoints in
+        let all_protos = List.sort_uniq compare (List.concat protos) in
+        List.iter
+          (fun proto ->
+            let have = List.filter (fun ps -> List.mem proto ps) protos in
+            if List.length have = 1 then begin
+              let lonely =
+                List.find (fun (e : Rd_topo.Topology.iface) -> List.mem proto (covering e)) endpoints
+              in
+              acc :=
+                finding ~router:(router_name t lonely.router) Warning "half-covered-link"
+                  "link %s is covered by %s on only one endpoint — the adjacency cannot form"
+                  (Prefix.to_string l.subnet_of_link)
+                  (Ast.protocol_to_string proto)
+                :: !acc
+            end)
+          all_protos
+      end)
+    t.topo.links;
+  (* IGP processes with no adjacency in a multi-router network *)
+  if Array.length t.topo.routers > 1 then begin
+    let has_adj = Hashtbl.create 64 in
+    List.iter
+      (fun (a : Rd_routing.Adjacency.t) ->
+        Hashtbl.replace has_adj a.a ();
+        Hashtbl.replace has_adj a.b ())
+      t.graph.adjacency.adjacencies;
+    Array.iter
+      (fun (p : Rd_routing.Process.t) ->
+        if
+          p.protocol <> Ast.Bgp
+          && (not (Hashtbl.mem has_adj p.pid))
+          && not (List.exists (fun (pid, _) -> pid = p.pid) t.graph.adjacency.igp_external_edges)
+        then
+          acc :=
+            finding ~router:(router_name t p.router) Info "isolated-process"
+              "%s process %s has no adjacency (single-router instance)"
+              (Ast.protocol_to_string p.protocol)
+              (match p.proc_id with Some i -> string_of_int i | None -> "-")
+            :: !acc)
+      t.catalog.processes
+  end;
+  List.rev !acc
+
+(* ----------------------------------------------- dangling references --- *)
+
+let dangling_references (t : Analysis.t) =
+  let acc = ref [] in
+  List.iter
+    (fun (name, (cfg : Ast.t)) ->
+      let referenced = Hashtbl.create 16 in
+      let reference kind x = Hashtbl.replace referenced (kind, x) () in
+      List.iter (reference `Acl) cfg.vty_acls;
+      List.iter
+        (fun (i : Ast.interface) ->
+          List.iter (fun (a, _) -> reference `Acl a) i.access_groups)
+        cfg.interfaces;
+      List.iter
+        (fun (p : Ast.router_process) ->
+          List.iter (fun (d : Ast.distribute_list) -> reference `Acl d.dl_acl) p.dlists;
+          List.iter
+            (fun (r : Ast.redistribute) ->
+              match r.route_map with Some m -> reference `Rm m | None -> ())
+            p.redistributes;
+          List.iter
+            (fun (n : Ast.neighbor) ->
+              List.iter (fun (a, _) -> reference `Acl a) n.nb_dlists;
+              List.iter (fun (m, _) -> reference `Rm m) n.nb_route_maps)
+            p.neighbors)
+        cfg.processes;
+      List.iter
+        (fun (rm : Ast.route_map) ->
+          List.iter
+            (fun (e : Ast.route_map_entry) -> List.iter (reference `Acl) e.match_acls)
+            rm.entries)
+        cfg.route_maps;
+      (* referenced but undefined *)
+      Hashtbl.iter
+        (fun (kind, x) () ->
+          match kind with
+          | `Acl ->
+            if Ast.find_acl cfg x = None then
+              acc :=
+                finding ~router:name Warning "undefined-acl" "access-list %s is referenced but not defined" x
+                :: !acc
+          | `Rm ->
+            if Ast.find_route_map cfg x = None then
+              acc :=
+                finding ~router:name Warning "undefined-route-map"
+                  "route-map %s is referenced but not defined" x
+                :: !acc)
+        referenced;
+      (* defined but unreferenced *)
+      List.iter
+        (fun (a : Ast.acl) ->
+          if not (Hashtbl.mem referenced (`Acl, a.acl_name)) then
+            acc :=
+              finding ~router:name Info "unused-acl" "access-list %s is defined but never applied"
+                a.acl_name
+              :: !acc)
+        cfg.acls;
+      List.iter
+        (fun (rm : Ast.route_map) ->
+          if not (Hashtbl.mem referenced (`Rm, rm.rm_name)) then
+            acc :=
+              finding ~router:name Info "unused-route-map" "route-map %s is defined but never applied"
+                rm.rm_name
+              :: !acc)
+        cfg.route_maps)
+    t.configs;
+  List.rev !acc
+
+(* ---------------------------------------------- duplicate addresses --- *)
+
+let duplicate_addresses (t : Analysis.t) =
+  let seen = Hashtbl.create 256 in
+  let acc = ref [] in
+  Array.iter
+    (fun (i : Rd_topo.Topology.iface) ->
+      match i.address with
+      | Some (a, _) -> (
+        let key = Ipv4.to_int a in
+        match Hashtbl.find_opt seen key with
+        | Some (r0, n0) when r0 <> i.router ->
+          acc :=
+            finding ~router:(router_name t i.router) Warning "duplicate-address"
+              "address %s on %s is also configured on %s:%s" (Ipv4.to_string a) i.name
+              (router_name t r0) n0
+            :: !acc
+        | Some _ -> ()
+        | None -> Hashtbl.replace seen key (i.router, i.name))
+      | None -> ())
+    t.topo.ifaces;
+  List.rev !acc
+
+(* --------------------------------------- unresolved static next hops --- *)
+
+let unresolved_static_next_hops (t : Analysis.t) =
+  let acc = ref [] in
+  List.iter
+    (fun (name, (cfg : Ast.t)) ->
+      let connected = List.concat_map Ast.interface_prefixes cfg.interfaces in
+      List.iter
+        (fun (s : Ast.static_route) ->
+          match s.sr_next_hop with
+          | Ast.Nh_addr nh ->
+            if not (List.exists (fun p -> Prefix.mem nh p) connected) then
+              acc :=
+                finding ~router:name Warning "unresolved-next-hop"
+                  "static route to %s points at %s, which is on no connected subnet"
+                  (Prefix.to_string s.sr_dest) (Ipv4.to_string nh)
+                :: !acc
+          | Ast.Nh_iface ifname ->
+            if Ast.find_interface cfg ifname = None then
+              acc :=
+                finding ~router:name Warning "unresolved-next-hop"
+                  "static route to %s uses undefined interface %s"
+                  (Prefix.to_string s.sr_dest) ifname
+                :: !acc)
+        cfg.statics)
+    t.configs;
+  List.rev !acc
+
+(* -------------------------------------- shared static destinations --- *)
+
+let shared_static_destinations (t : Analysis.t) =
+  let dests = Hashtbl.create 64 in
+  List.iter
+    (fun (name, (cfg : Ast.t)) ->
+      List.iter
+        (fun (s : Ast.static_route) ->
+          let cur = try Hashtbl.find dests s.sr_dest with Not_found -> [] in
+          if not (List.mem name cur) then Hashtbl.replace dests s.sr_dest (name :: cur))
+        cfg.statics)
+    t.configs;
+  Hashtbl.fold
+    (fun dest routers acc ->
+      if List.length routers >= 2 then
+        finding Info "shared-static-destination"
+          "%d routers (%s) hold static routes to %s — avoid maintaining them simultaneously"
+          (List.length routers)
+          (String.concat ", " (List.sort compare routers))
+          (Prefix.to_string dest)
+        :: acc
+      else acc)
+    dests []
+
+(* --------------------------------------------------- ospf area issues --- *)
+
+let ospf_area_issues (t : Analysis.t) =
+  let acc = ref [] in
+  let area_infos = Rd_routing.Areas.analyze t.catalog t.graph.assignment in
+  List.iter
+    (fun (info : Rd_routing.Areas.t) ->
+      if List.length info.areas >= 2 && not info.has_backbone then
+        acc :=
+          finding Warning "ospf-no-backbone-area"
+            "OSPF instance %d spans %d areas but has no area 0 — inter-area routes cannot flow"
+            info.inst_id (List.length info.areas)
+          :: !acc;
+      (* areas reachable through a single ABR *)
+      if info.has_backbone && List.length info.areas >= 2 then
+        List.iter
+          (fun (a : Rd_routing.Areas.area_info) ->
+            if a.area <> 0 then begin
+              let abrs_of_area = List.filter (fun r -> List.mem r a.routers) info.abrs in
+              if List.length abrs_of_area = 1 then
+                acc :=
+                  finding
+                    ~router:(router_name t (List.hd abrs_of_area))
+                    Info "single-abr-area"
+                    "OSPF area %d hangs off a single area border router" a.area
+                  :: !acc
+            end)
+          info.areas)
+    area_infos;
+  List.rev !acc
+
+let run_all t =
+  let all =
+    unfiltered_peerings t @ incomplete_adjacencies t @ dangling_references t
+    @ duplicate_addresses t @ unresolved_static_next_hops t @ shared_static_destinations t
+    @ ospf_area_issues t
+  in
+  let warnings, infos = List.partition (fun f -> f.severity = Warning) all in
+  warnings @ infos
+
+let render findings =
+  if findings = [] then "no findings\n"
+  else begin
+    let buf = Buffer.create 512 in
+    List.iter
+      (fun f ->
+        Buffer.add_string buf
+          (Printf.sprintf "%-7s %-26s %-10s %s\n"
+             (match f.severity with Warning -> "WARN" | Info -> "info")
+             f.category
+             (Option.value f.router ~default:"-")
+             f.message))
+      findings;
+    Buffer.contents buf
+  end

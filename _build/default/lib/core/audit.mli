@@ -1,0 +1,54 @@
+(** Vulnerability assessment and anomaly detection over a routing design
+    (paper §8.1).
+
+    The paper lists the operational checks an extracted routing design
+    enables: connections to neighboring domains without packet or route
+    filters, internal links and routers with incomplete routing protocol
+    adjacencies, configurations that reference undefined policies, and
+    maintenance hazards such as several routers holding static routes to
+    the same prefix.  Each check returns findings; [run_all] aggregates
+    them. *)
+
+type severity = Warning | Info
+
+type finding = {
+  severity : severity;
+  category : string;  (** stable kebab-case id, e.g. ["unfiltered-peering"]. *)
+  router : string option;  (** hostname/file of the implicated router. *)
+  message : string;
+}
+
+val unfiltered_peerings : Analysis.t -> finding list
+(** External BGP sessions with neither a distribute-list nor a route-map
+    in either direction, and external-facing interfaces with no packet
+    filter. *)
+
+val incomplete_adjacencies : Analysis.t -> finding list
+(** Internal links where only one endpoint's routing process covers the
+    link (the adjacency can never form), and non-BGP processes on
+    multi-router networks with no adjacency at all. *)
+
+val dangling_references : Analysis.t -> finding list
+(** ACLs and route-maps referenced but never defined (Warning), and
+    defined but never referenced (Info). *)
+
+val duplicate_addresses : Analysis.t -> finding list
+(** The same interface address configured on two routers. *)
+
+val unresolved_static_next_hops : Analysis.t -> finding list
+(** Static routes whose next hop lies on none of the router's connected
+    subnets. *)
+
+val shared_static_destinations : Analysis.t -> finding list
+(** Prefixes that several routers reach via static routes — §8.1's
+    maintenance-scheduling hazard. *)
+
+val ospf_area_issues : Analysis.t -> finding list
+(** Multi-area OSPF instances without a backbone area (inter-area routes
+    cannot flow), and single-ABR areas (the ABR is a structural single
+    point of failure). *)
+
+val run_all : Analysis.t -> finding list
+(** Every check, Warnings first. *)
+
+val render : finding list -> string

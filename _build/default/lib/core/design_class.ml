@@ -1,0 +1,88 @@
+open Rd_config
+
+type design = Backbone | Enterprise | Unclassifiable
+
+type evidence = {
+  design : design;
+  external_sessions : int;
+  bgp_speaker_fraction : float;
+  largest_bgp_span : float;
+  igp_instances : int;
+  staging_instances : int;
+  bgp_into_igp : bool;
+  igp_coverage : float;
+}
+
+let design_to_string = function
+  | Backbone -> "backbone"
+  | Enterprise -> "enterprise"
+  | Unclassifiable -> "unclassifiable"
+
+let classify (t : Analysis.t) =
+  let nrouters = max 1 (Analysis.router_count t) in
+  let insts = Array.to_list t.graph.assignment.instances in
+  let is_igp (i : Rd_routing.Instance.t) = i.protocol <> Ast.Bgp in
+  let igp_all = List.filter is_igp insts in
+  let igp_multi = List.filter (fun i -> Rd_routing.Instance.size i > 1) igp_all in
+  let staging = List.filter (fun i -> Rd_routing.Instance.size i = 1) igp_all in
+  let bgp = List.filter (fun i -> not (is_igp i)) insts in
+  let bgp_routers =
+    List.sort_uniq Int.compare (List.concat_map (fun (i : Rd_routing.Instance.t) -> i.routers) bgp)
+  in
+  let largest_bgp_span =
+    List.fold_left
+      (fun acc (i : Rd_routing.Instance.t) ->
+        max acc (float_of_int (Rd_routing.Instance.size i) /. float_of_int nrouters))
+      0.0 bgp
+  in
+  let external_sessions = List.length t.graph.adjacency.external_peerings in
+  (* BGP -> IGP redistribution anywhere? *)
+  let inst_protocol i = t.graph.assignment.instances.(i).protocol in
+  let bgp_into_igp =
+    List.exists
+      (fun (e : Rd_routing.Instance_graph.edge) ->
+        match (e.src, e.dst, e.via) with
+        | Rd_routing.Instance_graph.Inst s, Rd_routing.Instance_graph.Inst d,
+          Rd_routing.Instance_graph.Redist _ ->
+          inst_protocol s = Ast.Bgp && inst_protocol d <> Ast.Bgp
+        | _ -> false)
+      t.graph.edges
+  in
+  (* Coverage of the (up to) three largest IGP instances. *)
+  let igp_sizes =
+    List.sort (fun a b -> Int.compare b a) (List.map Rd_routing.Instance.size igp_multi)
+  in
+  let top3 = List.fold_left ( + ) 0 (List.filteri (fun i _ -> i < 3) igp_sizes) in
+  let igp_coverage = float_of_int (min top3 nrouters) /. float_of_int nrouters in
+  let bgp_speaker_fraction = float_of_int (List.length bgp_routers) /. float_of_int nrouters in
+  let design =
+    let backbone =
+      external_sessions >= 10
+      && largest_bgp_span >= 0.6
+      && (not bgp_into_igp)
+      && List.length igp_multi <= 5
+      && List.length staging <= nrouters / 10
+    in
+    let enterprise =
+      (* The textbook enterprise pattern requires border BGP speakers; the
+         paper counts BGP-less networks among the unclassifiable. *)
+      bgp <> []
+      && bgp_into_igp
+        && bgp_speaker_fraction <= 0.12
+        && List.length bgp <= 2
+        && List.length igp_multi <= 2
+        && igp_coverage >= 0.85
+        && List.length staging <= 2
+    in
+    if backbone then Backbone else if enterprise then Enterprise else Unclassifiable
+  in
+  {
+    design;
+    external_sessions;
+    bgp_speaker_fraction;
+    largest_bgp_span;
+    igp_instances = List.length igp_multi;
+    staging_instances = List.length staging;
+    bgp_into_igp;
+    igp_coverage;
+  }

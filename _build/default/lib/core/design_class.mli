@@ -1,0 +1,32 @@
+(** Routing-design classification (paper §7.1).
+
+    Only two textbook architectures exist; everything else is
+    "unclassifiable".  The classifier checks the hallmarks the paper
+    names:
+
+    - {b Backbone}: many EBGP sessions to external networks; one internal
+      BGP instance distributing external routes to most routers (IBGP);
+      a small number of IGP instances for infrastructure routes; and —
+      the hallmark — external routes are never redistributed from BGP
+      into an IGP.
+    - {b Enterprise}: a small number of BGP speakers inject external
+      routes into a small number of IGP instances, from which most
+      routers learn their routes; or no BGP at all with a small number of
+      IGP instances covering the network. *)
+
+type design = Backbone | Enterprise | Unclassifiable
+
+type evidence = {
+  design : design;
+  external_sessions : int;
+  bgp_speaker_fraction : float;  (** routers running BGP / routers. *)
+  largest_bgp_span : float;  (** largest BGP instance's router fraction. *)
+  igp_instances : int;  (** multi-router IGP instances. *)
+  staging_instances : int;  (** single-router IGP instances. *)
+  bgp_into_igp : bool;  (** some BGP instance redistributes into an IGP. *)
+  igp_coverage : float;  (** routers in the largest IGP instances / routers. *)
+}
+
+val classify : Analysis.t -> evidence
+
+val design_to_string : design -> string

@@ -1,0 +1,133 @@
+open Rd_addr
+open Rd_config
+
+type router_record = {
+  name : string;
+  interfaces : int;
+  interface_mix : (Rd_topo.Itype.t * int) list;
+  processes : (Ast.protocol * int) list;
+  config_lines : int;
+  external_links : int;
+}
+
+let records (t : Analysis.t) =
+  Array.to_list
+    (Array.mapi
+       (fun ri (name, (cfg : Ast.t)) ->
+         let mix = Hashtbl.create 8 in
+         List.iter
+           (fun (i : Ast.interface) ->
+             let ty = Rd_topo.Itype.of_interface_name i.if_name in
+             Hashtbl.replace mix ty (1 + try Hashtbl.find mix ty with Not_found -> 0))
+           cfg.interfaces;
+         let procs = Hashtbl.create 4 in
+         List.iter
+           (fun (p : Ast.router_process) ->
+             Hashtbl.replace procs p.protocol
+               (1 + try Hashtbl.find procs p.protocol with Not_found -> 0))
+           cfg.processes;
+         let external_links =
+           List.length
+             (List.filteri
+                (fun ii _ ->
+                  Rd_topo.Topology.facing_of t.topo ri ii = Rd_topo.Topology.External)
+                cfg.interfaces)
+         in
+         {
+           name;
+           interfaces = List.length cfg.interfaces;
+           interface_mix =
+             Hashtbl.fold (fun ty c acc -> (ty, c) :: acc) mix []
+             |> List.sort (fun (_, a) (_, b) -> Int.compare b a);
+           processes = Hashtbl.fold (fun p c acc -> (p, c) :: acc) procs [];
+           config_lines = cfg.total_lines;
+           external_links;
+         })
+       t.topo.routers)
+
+let report (t : Analysis.t) =
+  let buf = Buffer.create 1024 in
+  let rows =
+    List.map
+      (fun r ->
+        [
+          r.name;
+          string_of_int r.interfaces;
+          String.concat "+"
+            (List.map
+               (fun (ty, c) -> Printf.sprintf "%d %s" c (Rd_topo.Itype.to_string ty))
+               (List.filteri (fun i _ -> i < 3) r.interface_mix));
+          String.concat ","
+            (List.map
+               (fun (p, c) -> Printf.sprintf "%s x%d" (Ast.protocol_to_string p) c)
+               r.processes);
+          string_of_int r.external_links;
+          string_of_int r.config_lines;
+        ])
+      (records t)
+  in
+  Buffer.add_string buf
+    (Rd_util.Table.render
+       ~headers:[ "router"; "ifaces"; "top types"; "processes"; "ext links"; "lines" ]
+       ~aligns:[ Rd_util.Table.Left; Rd_util.Table.Right; Rd_util.Table.Left;
+                 Rd_util.Table.Left; Rd_util.Table.Right; Rd_util.Table.Right ]
+       rows);
+  Buffer.add_string buf "\naddress blocks:\n";
+  Buffer.add_string buf (Rd_addrspace.Blocks.render t.blocks);
+  Buffer.contents buf
+
+type delta = {
+  added_routers : string list;
+  removed_routers : string list;
+  added_links : Prefix.t list;
+  removed_links : Prefix.t list;
+  added_blocks : Prefix.t list;
+  removed_blocks : Prefix.t list;
+}
+
+let diff ~(old_snapshot : Analysis.t) ~(new_snapshot : Analysis.t) =
+  let names (a : Analysis.t) =
+    List.sort compare (Array.to_list (Array.map fst a.topo.routers))
+  in
+  let links (a : Analysis.t) =
+    List.sort_uniq Prefix.compare
+      (List.map (fun (l : Rd_topo.Topology.link) -> l.subnet_of_link) a.topo.links)
+  in
+  let blocks (a : Analysis.t) =
+    List.sort_uniq Prefix.compare
+      (List.map (fun (b : Rd_addrspace.Blocks.block) -> b.prefix) a.blocks)
+  in
+  let minus xs ys = List.filter (fun x -> not (List.mem x ys)) xs in
+  let on, nn = (names old_snapshot, names new_snapshot) in
+  let ol, nl = (links old_snapshot, links new_snapshot) in
+  let ob, nb = (blocks old_snapshot, blocks new_snapshot) in
+  {
+    added_routers = minus nn on;
+    removed_routers = minus on nn;
+    added_links = minus nl ol;
+    removed_links = minus ol nl;
+    added_blocks = minus nb ob;
+    removed_blocks = minus ob nb;
+  }
+
+let is_empty_delta d =
+  d.added_routers = [] && d.removed_routers = [] && d.added_links = []
+  && d.removed_links = [] && d.added_blocks = [] && d.removed_blocks = []
+
+let render_delta d =
+  if is_empty_delta d then "no inventory changes\n"
+  else begin
+    let buf = Buffer.create 256 in
+    let emit label f = function
+      | [] -> ()
+      | l ->
+        Printf.bprintf buf "%s: %s\n" label (String.concat ", " (List.map f l))
+    in
+    emit "routers added" Fun.id d.added_routers;
+    emit "routers removed" Fun.id d.removed_routers;
+    emit "links added" Prefix.to_string d.added_links;
+    emit "links removed" Prefix.to_string d.removed_links;
+    emit "address blocks added" Prefix.to_string d.added_blocks;
+    emit "address blocks removed" Prefix.to_string d.removed_blocks;
+    Buffer.contents buf
+  end

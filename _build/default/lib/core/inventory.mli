@@ -1,0 +1,35 @@
+(** Inventory management (paper §8.1).
+
+    The routing design extracted from configuration files doubles as an
+    equipment and addressing inventory: per-router interface and process
+    summaries, the address-block assignment, and — taken across two
+    snapshots — the equipment added or removed between them ("snapshots
+    of the routing design over time can be used to track the steps in
+    adding or removing equipment from the network"). *)
+
+type router_record = {
+  name : string;
+  interfaces : int;
+  interface_mix : (Rd_topo.Itype.t * int) list;  (** descending count. *)
+  processes : (Rd_config.Ast.protocol * int) list;  (** per-protocol process counts. *)
+  config_lines : int;
+  external_links : int;
+}
+
+val records : Analysis.t -> router_record list
+
+val report : Analysis.t -> string
+(** Per-router inventory plus the address-block table. *)
+
+type delta = {
+  added_routers : string list;
+  removed_routers : string list;
+  added_links : Rd_addr.Prefix.t list;
+  removed_links : Rd_addr.Prefix.t list;
+  added_blocks : Rd_addr.Prefix.t list;
+  removed_blocks : Rd_addr.Prefix.t list;
+}
+
+val diff : old_snapshot:Analysis.t -> new_snapshot:Analysis.t -> delta
+val render_delta : delta -> string
+val is_empty_delta : delta -> bool

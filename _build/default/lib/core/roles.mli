@@ -1,0 +1,34 @@
+(** IGP/EGP role classification (paper §5.2, Table 1).
+
+    A protocol instance serves an *inter-domain* (EGP) role when it has an
+    adjacency with an instance of another network — for IGPs, a process
+    speaking on an external-facing link; for EBGP, a session whose peer is
+    outside the configuration set.  Everything else is *intra-domain*. *)
+
+open Rd_config
+
+type role = Intra | Inter
+
+type counts = {
+  ospf : int * int;  (** (intra, inter) instance counts. *)
+  eigrp : int * int;  (** includes IGRP, as in the paper. *)
+  rip : int * int;
+  isis : int * int;
+  ebgp_sessions : int * int;  (** (intra, inter) *session* counts. *)
+}
+
+val instance_role : Analysis.t -> Rd_routing.Instance.t -> role
+(** Role of a non-BGP instance. *)
+
+val count : Analysis.t -> counts
+
+val add : counts -> counts -> counts
+val zero : counts
+
+val uses_bgp : Analysis.t -> bool
+
+val total_conventional_fraction : counts -> float * float
+(** (fraction of IGP instances used intra, fraction of EBGP sessions used
+    inter) — the paper reports both near 0.9. *)
+
+val protocol_of_instance : Rd_routing.Instance.t -> Ast.protocol

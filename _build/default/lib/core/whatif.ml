@@ -1,0 +1,138 @@
+open Rd_addr
+open Rd_config
+
+type change =
+  | Remove_router of string
+  | Remove_link of Prefix.t
+  | Shutdown_interface of string * string
+
+type diff = {
+  before : Analysis.t;
+  after : Analysis.t;
+  instances_before : int;
+  instances_after : int;
+  split_instances : (Rd_routing.Instance.t * int) list;
+  lost_reachability : (Ipv4.t * Ipv4.t) list;
+}
+
+let matches_router (file, (cfg : Ast.t)) name = file = name || cfg.hostname = Some name
+
+let shutdown_iface (cfg : Ast.t) pred =
+  {
+    cfg with
+    Ast.interfaces =
+      List.map
+        (fun (i : Ast.interface) -> if pred i then { i with Ast.shutdown = true } else i)
+        cfg.interfaces;
+  }
+
+let apply_change configs = function
+  | Remove_router name -> List.filter (fun rc -> not (matches_router rc name)) configs
+  | Remove_link subnet ->
+    List.map
+      (fun (file, cfg) ->
+        ( file,
+          shutdown_iface cfg (fun i ->
+              match i.Ast.if_address with
+              | Some (a, m) -> (
+                match Prefix.of_addr_mask a m with
+                | Some p -> Prefix.equal p subnet
+                | None -> false)
+              | None -> false) ))
+      configs
+  | Shutdown_interface (router, ifname) ->
+    List.map
+      (fun ((file, cfg) as rc) ->
+        if matches_router rc router then
+          (file, shutdown_iface cfg (fun i -> i.Ast.if_name = ifname))
+        else rc)
+      configs
+
+let apply (t : Analysis.t) changes =
+  let configs = List.fold_left apply_change t.configs changes in
+  Analysis.analyze_asts ~name:(t.name ^ "+whatif") configs
+
+let sample_hosts (r : Rd_reach.Reachability.t) =
+  (* one representative host per origin prefix, capped for tractability *)
+  Array.to_list r.origins
+  |> List.concat_map (fun s -> Prefix_set.to_prefixes s)
+  |> List.filteri (fun i _ -> i < 24)
+  |> List.map (fun p -> Prefix.nth p (Prefix.size p / 2))
+
+let compare ~(before : Analysis.t) ~(after : Analysis.t) =
+  (* map a process to its instance in the new analysis by (router name,
+     protocol, proc id) identity *)
+  let key (a : Analysis.t) (p : Rd_routing.Process.t) =
+    (fst a.topo.routers.(p.router), p.protocol, p.proc_id)
+  in
+  let after_inst = Hashtbl.create 256 in
+  Array.iter
+    (fun (p : Rd_routing.Process.t) ->
+      Hashtbl.replace after_inst (key after p) after.graph.assignment.of_process.(p.pid))
+    after.catalog.processes;
+  let split_instances =
+    Array.to_list before.graph.assignment.instances
+    |> List.filter_map (fun (i : Rd_routing.Instance.t) ->
+         if Rd_routing.Instance.size i <= 1 then None
+         else begin
+           let landed =
+             List.filter_map
+               (fun pid ->
+                 Hashtbl.find_opt after_inst (key before before.catalog.processes.(pid)))
+               i.members
+             |> List.sort_uniq Stdlib.compare
+           in
+           if List.length landed > 1 then Some (i, List.length landed) else None
+         end)
+  in
+  (* Interfaces whose peer was removed look external-facing afterwards;
+     with the default full external offer the unknown outside world would
+     mask every loss.  Compare both sides with an empty offer so only
+     internal reachability is scored. *)
+  let rb = Rd_reach.Reachability.compute ~external_offers:Prefix_set.empty before.graph in
+  let ra = Rd_reach.Reachability.compute ~external_offers:Prefix_set.empty after.graph in
+  let hosts = sample_hosts rb in
+  let lost =
+    List.concat_map
+      (fun src ->
+        List.filter_map
+          (fun dst ->
+            if
+              (not (Ipv4.equal src dst))
+              && Rd_reach.Reachability.can_reach rb ~src ~dst
+              && not (Rd_reach.Reachability.can_reach ra ~src ~dst)
+            then Some (src, dst)
+            else None)
+          hosts)
+      hosts
+  in
+  {
+    before;
+    after;
+    instances_before = Analysis.instance_count before;
+    instances_after = Analysis.instance_count after;
+    split_instances;
+    lost_reachability = lost;
+  }
+
+let run t changes = compare ~before:t ~after:(apply t changes)
+
+let render d =
+  let buf = Buffer.create 512 in
+  Printf.bprintf buf "routing instances: %d -> %d\n" d.instances_before d.instances_after;
+  if d.split_instances = [] then Printf.bprintf buf "no instance was partitioned\n"
+  else
+    List.iter
+      (fun (i, parts) ->
+        Printf.bprintf buf "PARTITIONED: %s now spans %d instances\n"
+          (Rd_routing.Instance.to_string i) parts)
+      d.split_instances;
+  (match d.lost_reachability with
+   | [] -> Printf.bprintf buf "no sampled host pair lost reachability\n"
+   | l ->
+     Printf.bprintf buf "%d sampled host pairs lost reachability, e.g.:\n" (List.length l);
+     List.iteri
+       (fun i (s, t) ->
+         if i < 8 then Printf.bprintf buf "  %s -> %s\n" (Ipv4.to_string s) (Ipv4.to_string t))
+       l);
+  Buffer.contents buf

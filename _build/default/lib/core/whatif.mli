@@ -1,0 +1,38 @@
+(** "What if" analysis (paper §8.1, network engineering).
+
+    Operators evaluate the robustness of the routing design to equipment
+    failures and planned maintenance by modelling the effect of changes on
+    the derived design.  A change is applied to the parsed configurations
+    and the full analysis re-runs; the diff summarizes what moved. *)
+
+type change =
+  | Remove_router of string  (** take a router out of service. *)
+  | Remove_link of Rd_addr.Prefix.t
+      (** shut both ends of the link with this subnet. *)
+  | Shutdown_interface of string * string  (** (router, interface name). *)
+
+type diff = {
+  before : Analysis.t;
+  after : Analysis.t;
+  instances_before : int;
+  instances_after : int;
+  split_instances : (Rd_routing.Instance.t * int) list;
+      (** multi-router instances of the old design together with how many
+          instances their surviving processes land in afterwards (>1 means
+          the change partitioned the instance). *)
+  lost_reachability : (Rd_addr.Ipv4.t * Rd_addr.Ipv4.t) list;
+      (** sampled host pairs reachable before but not after. *)
+}
+
+val apply : Analysis.t -> change list -> Analysis.t
+(** Re-analyze the network with the changes applied.  Unknown router or
+    interface names are ignored. *)
+
+val compare : before:Analysis.t -> after:Analysis.t -> diff
+(** Structural and reachability diff (reachability is sampled over the
+    instances' origin sets). *)
+
+val run : Analysis.t -> change list -> diff
+(** [apply] + [compare]. *)
+
+val render : diff -> string

@@ -1,0 +1,1 @@
+lib/gen/addr_plan.ml: Ipv4 Prefix Printf Rd_addr

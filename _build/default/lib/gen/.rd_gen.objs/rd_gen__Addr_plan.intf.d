@@ -1,0 +1,1 @@
+lib/gen/addr_plan.mli: Ipv4 Prefix Rd_addr

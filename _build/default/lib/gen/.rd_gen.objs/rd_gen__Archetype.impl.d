@@ -1,0 +1,1 @@
+lib/gen/archetype.ml: Gen_backbone Gen_compartment Gen_enterprise Gen_hubspoke Gen_igp_only Gen_restricted Gen_tier2 List Prefix Rd_addr Rd_config

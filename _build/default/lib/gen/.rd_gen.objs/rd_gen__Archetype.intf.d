@@ -1,0 +1,1 @@
+lib/gen/archetype.mli: Builder

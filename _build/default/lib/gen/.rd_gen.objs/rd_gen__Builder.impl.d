@@ -1,0 +1,1 @@
+lib/gen/builder.ml: Addr_plan Ast Device Ipv4 List Option Prefix Printf Rd_addr Rd_config Rd_util Texture Wildcard

@@ -1,0 +1,1 @@
+lib/gen/builder.mli: Addr_plan Ast Device Ipv4 Prefix Rd_addr Rd_config Rd_util

@@ -1,0 +1,1 @@
+lib/gen/device.ml: Ast Hashtbl List Printf Rd_config

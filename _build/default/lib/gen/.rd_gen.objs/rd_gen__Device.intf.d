@@ -1,0 +1,1 @@
+lib/gen/device.mli: Ast Ipv4 Rd_addr Rd_config

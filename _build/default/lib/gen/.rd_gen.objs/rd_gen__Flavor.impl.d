@@ -1,0 +1,1 @@
+lib/gen/flavor.ml: Addr_plan Ast Builder Device Ipv4 List Prefix Rd_addr Rd_config Rd_util Wildcard

@@ -1,0 +1,1 @@
+lib/gen/flavor.mli: Ast Builder Device Rd_addr Rd_config

@@ -1,0 +1,1 @@
+lib/gen/gen_backbone.ml: Array Builder Device Flavor Int List Prefix Printf Rd_addr Rd_config Rd_util Texture

@@ -1,0 +1,1 @@
+lib/gen/gen_backbone.mli: Builder Rd_addr

@@ -1,0 +1,1 @@
+lib/gen/gen_compartment.ml: Addr_plan Array Ast Builder Device Flavor List Prefix Printf Rd_addr Rd_config Rd_util

@@ -1,0 +1,1 @@
+lib/gen/gen_compartment.mli: Builder Rd_addr

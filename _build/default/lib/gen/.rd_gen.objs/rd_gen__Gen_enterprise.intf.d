@@ -1,0 +1,1 @@
+lib/gen/gen_enterprise.mli: Builder Rd_addr

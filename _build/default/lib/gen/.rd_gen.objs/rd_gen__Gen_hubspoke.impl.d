@@ -1,0 +1,1 @@
+lib/gen/gen_hubspoke.ml: Array Ast Builder Device Flavor Prefix Printf Rd_addr Rd_config Rd_util

@@ -1,0 +1,1 @@
+lib/gen/gen_hubspoke.mli: Builder Rd_addr Rd_config

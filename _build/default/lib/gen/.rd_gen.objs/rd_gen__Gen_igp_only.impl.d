@@ -1,0 +1,1 @@
+lib/gen/gen_igp_only.ml: Array Ast Builder Flavor Printf Rd_addr Rd_config Rd_util

@@ -1,0 +1,1 @@
+lib/gen/gen_igp_only.mli: Builder Rd_addr Rd_config

@@ -1,0 +1,1 @@
+lib/gen/gen_restricted.ml: Addr_plan Array Ast Builder Flavor List Prefix Printf Rd_addr Rd_config Rd_util

@@ -1,0 +1,1 @@
+lib/gen/gen_restricted.mli: Builder Prefix Rd_addr

@@ -1,0 +1,1 @@
+lib/gen/gen_tier2.ml: Array Ast Builder Flavor List Prefix Printf Rd_addr Rd_config Rd_util

@@ -1,0 +1,1 @@
+lib/gen/gen_tier2.mli: Builder Rd_addr

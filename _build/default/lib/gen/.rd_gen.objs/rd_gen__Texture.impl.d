@@ -1,0 +1,1 @@
+lib/gen/texture.ml: Buffer Printf Rd_addr Rd_util String

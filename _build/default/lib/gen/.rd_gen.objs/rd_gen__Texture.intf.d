@@ -1,0 +1,1 @@
+lib/gen/texture.mli: Rd_addr Rd_util

@@ -1,0 +1,41 @@
+open Rd_addr
+
+type region = { base : Ipv4.t; size : int; mutable cursor : int }
+
+type t = { block : Prefix.t; general : region; p2p_r : region; loop : region }
+
+let region_of p = { base = Prefix.addr p; size = Prefix.size p; cursor = 0 }
+
+let create block =
+  if Prefix.len block > 24 then invalid_arg "Addr_plan.create: block too small";
+  match Prefix.split block with
+  | None -> assert false
+  | Some (lower, upper) -> (
+    match Prefix.split upper with
+    | None -> assert false
+    | Some (q2, q3) ->
+      { block; general = region_of lower; p2p_r = region_of q2; loop = region_of q3 })
+
+let block t = t.block
+
+let align cursor sz = (cursor + sz - 1) / sz * sz
+
+let alloc_from r len =
+  let sz = 1 lsl (32 - len) in
+  let at = align r.cursor sz in
+  if at + sz > r.size then
+    failwith
+      (Printf.sprintf "Addr_plan: region exhausted (base %s, size %d, want /%d)"
+         (Ipv4.to_string r.base) r.size len);
+  r.cursor <- at + sz;
+  Prefix.make (Ipv4.add r.base at) len
+
+let alloc t len = alloc_from t.general len
+
+let lan t = alloc t 24
+
+let p2p t = alloc_from t.p2p_r 30
+
+let loopback t = Prefix.addr (alloc_from t.loop 32)
+
+let carve t len = create (alloc_from t.general len)

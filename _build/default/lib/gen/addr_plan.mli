@@ -1,0 +1,35 @@
+(** Structured address allocation for generated networks.
+
+    Mirrors how the paper's operators plan address space (§3.4, §6.1):
+    each network or compartment owns a block, inside which LANs, /30
+    point-to-point subnets, and /32 loopbacks are carved from disjoint
+    regions.  External-facing links are allocated from a different block
+    (§3.4 uses that convention to spot missing routers). *)
+
+open Rd_addr
+
+type t
+
+val create : Prefix.t -> t
+(** [create block] with a block no longer than /24.  Layout: general
+    allocations (LANs, carved sub-blocks) in the lower half,
+    point-to-point /30s in the third quarter, loopbacks in the fourth. *)
+
+val block : t -> Prefix.t
+
+val alloc : t -> int -> Prefix.t
+(** [alloc t len] — next aligned /[len] from the general region.  Raises
+    [Failure] when the region is exhausted. *)
+
+val lan : t -> Prefix.t
+(** Next /24. *)
+
+val p2p : t -> Prefix.t
+(** Next /30. *)
+
+val loopback : t -> Ipv4.t
+(** Next /32 host address. *)
+
+val carve : t -> int -> t
+(** [carve t len] — a sub-plan owning its own aligned /[len] from the
+    general region (for compartments with their own addressing plan). *)

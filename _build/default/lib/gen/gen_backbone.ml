@@ -1,0 +1,132 @@
+open Rd_addr
+
+type params = {
+  seed : int;
+  n : int;
+  asn : int;
+  pops : int;
+  border_fraction : float;
+  sessions_per_border : int * int;
+  media : string;
+  block : Prefix.t;
+  ext_block : Prefix.t;
+}
+
+let generate p =
+  let net = Builder.create ~seed:p.seed ~block:p.block ~ext_block:p.ext_block in
+  let rng = Builder.prng net in
+  let routers = Array.init p.n (fun i -> Builder.add_router net (Printf.sprintf "bb-r%d" i)) in
+  let n = p.n in
+  let pid = 1 in
+  let cover ?(area = 0) d s = Builder.ospf_cover d ~pid ~area s in
+  (* POP structure: core pair per POP; POP cores in a ring with chords. *)
+  let pops = max 1 p.pops in
+  let pop_of i = i mod pops in
+  (* Loopbacks, covered by OSPF, used for IBGP sessions.  Core loopbacks
+     live in the backbone area; access loopbacks in their POP's area, so
+     only the POP cores are area border routers. *)
+  let loops = Array.map (fun d -> Builder.loopback net d) routers in
+  Array.iteri
+    (fun i d ->
+      let area = if i < 2 * pops then 0 else pop_of i + 1 in
+      cover ~area d (Prefix.host loops.(i)))
+    routers;
+  let core_a = Array.init pops (fun k -> routers.(k)) in
+  let core_b = Array.init pops (fun k -> routers.(min (n - 1) (pops + k))) in
+  let core_link a b kind =
+    if Device.name a <> Device.name b then begin
+      let s, _, _ = Builder.link net ~kind a b in
+      cover a s;
+      cover b s
+    end
+  in
+  for k = 0 to pops - 1 do
+    core_link core_a.(k) core_b.(k) p.media;
+    core_link core_a.(k) core_a.((k + 1) mod pops) p.media;
+    core_link core_b.(k) core_b.((k + 1) mod pops) p.media
+  done;
+  (* Chords for resilience. *)
+  for _ = 1 to pops do
+    let i = Rd_util.Prng.int rng pops and j = Rd_util.Prng.int rng pops in
+    if i <> j then core_link core_a.(i) core_b.(j) p.media
+  done;
+  (* Access routers dual-home to their POP's cores.  Each POP is its own
+     OSPF area (area k+1); the POP cores are the area border routers. *)
+  for i = 2 * pops to n - 1 do
+    let k = pop_of i in
+    let area = k + 1 in
+    let kind = Rd_util.Prng.choice_list rng [ p.media; "ATM"; "ATM" ] in
+    let s1, _, _ = Builder.link net ~kind core_a.(k) routers.(i) in
+    cover ~area core_a.(k) s1;
+    cover ~area routers.(i) s1;
+    if Rd_util.Prng.bernoulli rng 0.8 then begin
+      let s2, _, _ = Builder.link net ~kind:p.media core_b.(k) routers.(i) in
+      cover ~area core_b.(k) s2;
+      cover ~area routers.(i) s2
+    end
+  done;
+  (* IBGP: route reflectors = the POP cores (full mesh); every other
+     router is a client of its POP's cores.  Sessions run between
+     loopbacks, so they resolve even when a direct link is down. *)
+  let rr_ids = List.init (2 * pops) (fun k -> min k (n - 1)) in
+  let rr_ids = List.sort_uniq Int.compare rr_ids in
+  let session ?(client = false) i j =
+    (* [client]: j is an RR client of i, flagged on i's side *)
+    Builder.bgp_neighbor routers.(i) ~asn:p.asn ~peer:loops.(j) ~remote_as:p.asn
+      ~rr_client:client ();
+    Builder.bgp_neighbor routers.(j) ~asn:p.asn ~peer:loops.(i) ~remote_as:p.asn ()
+  in
+  let rec mesh = function
+    | [] -> ()
+    | i :: rest ->
+      List.iter (fun j -> session i j) rest;
+      mesh rest
+  in
+  mesh rr_ids;
+  for i = 0 to n - 1 do
+    if not (List.mem i rr_ids) then begin
+      let k = pop_of i in
+      session ~client:true k i;
+      session ~client:true (min (n - 1) (pops + k)) i
+    end
+  done;
+  (* Announce the aggregate. *)
+  Builder.bgp_network routers.(0) ~asn:p.asn p.block;
+  (* Border routers with external EBGP sessions. *)
+  let nborder = max 1 (int_of_float (float_of_int n *. p.border_fraction)) in
+  let lo, hi = p.sessions_per_border in
+  for b = 0 to nborder - 1 do
+    let i = Rd_util.Prng.int rng n in
+    let d = routers.(i) in
+    let sessions = Rd_util.Prng.int_in rng lo hi in
+    let edge_acl = "199" in
+    Flavor.edge_filter net d ~name:edge_acl ~internal_block:p.block;
+    ignore b;
+    for s = 1 to sessions do
+      let _, _local, remote = Builder.external_link net ~acl_in:edge_acl d in
+      let remote_as = 1000 + Rd_util.Prng.int rng 40000 in
+      (* customer sessions get a per-neighbor prefix-list whitelisting the
+         customer's blocks; peer sessions run unfiltered-in *)
+      if Rd_util.Prng.bernoulli rng 0.6 then begin
+        let pl_name = Printf.sprintf "CUST-%d-%d" b s in
+        let blocks =
+          List.init
+            (1 + Rd_util.Prng.int rng 3)
+            (fun _ -> (Rd_config.Ast.Permit, Texture.external_reference rng 19, Some 24))
+        in
+        Builder.prefix_list d ~name:pl_name blocks;
+        Builder.bgp_neighbor d ~asn:p.asn ~peer:remote ~remote_as ~pl_in:pl_name ()
+      end
+      else Builder.bgp_neighbor d ~asn:p.asn ~peer:remote ~remote_as ()
+    done
+  done;
+  (* Interface texture.  Management instances are rare on backbones (the
+     design must stay clean to read as a textbook backbone). *)
+  Array.iter
+    (fun d ->
+      Flavor.rare_interfaces net d;
+      Flavor.mgmt_instance ~p:0.06 net d;
+      if Rd_util.Prng.bernoulli rng 0.25 then
+        ignore (Builder.lan net ~kind:"GigabitEthernet" d))
+    routers;
+  net

@@ -1,0 +1,21 @@
+(** Textbook backbone / transit ISP generator (paper §3.1 right half).
+
+    POP-structured core over POS/HSSI/ATM links, a single OSPF instance
+    carrying infrastructure routes, an IBGP route-reflector mesh spanning
+    every router for external routes, and many EBGP sessions to customer
+    and peer ASs on border routers.  The hallmark holds: external routes
+    are never redistributed into the IGP. *)
+
+type params = {
+  seed : int;
+  n : int;
+  asn : int;  (** the backbone's public AS. *)
+  pops : int;
+  border_fraction : float;  (** share of routers with external sessions. *)
+  sessions_per_border : int * int;  (** inclusive range. *)
+  media : string;  (** core link kind: "POS", "Hssi", "ATM". *)
+  block : Rd_addr.Prefix.t;
+  ext_block : Rd_addr.Prefix.t;
+}
+
+val generate : params -> Builder.net

@@ -1,0 +1,200 @@
+open Rd_addr
+open Rd_config
+
+type glue = { g_asn : int; g_members : (int * int) list; g_ext_peers : int list }
+
+type params = {
+  seed : int;
+  compartments : (int * int) list;
+  glues : glue list;
+  ebgp_intra : (int * int) list;
+  block : Prefix.t;
+  ext_block : Prefix.t;
+}
+
+(* Each router consumes up to four /24s plus /30s, so size the carved
+   block generously. *)
+let carve_len size = if size > 256 then 12 else if size > 64 then 14 else if size > 16 then 15 else 17
+
+let generate p =
+  let net = Builder.create ~seed:p.seed ~block:p.block ~ext_block:p.ext_block in
+  let rng = Builder.prng net in
+  (* --- compartments: EIGRP islands with their own address plans.  All
+     blocks are carved up front so later /24 allocations from the parent
+     plan cannot fragment the carve region. -------------------------- *)
+  let carved =
+    List.map (fun (_, size) -> Addr_plan.carve (Builder.plan net) (carve_len size)) p.compartments
+  in
+  let compartments =
+    List.mapi
+      (fun ci (asn, size) ->
+        let plan = List.nth carved ci in
+        let routers =
+          Array.init size (fun i -> Builder.add_router net (Printf.sprintf "c%d-r%d" ci i))
+        in
+        let uplink = Array.make size None in
+        for i = 1 to size - 1 do
+          let parent_idx = Rd_util.Prng.int rng i in
+          let parent = routers.(parent_idx) in
+          let s, pa, _ = Builder.link net ~plan parent routers.(i) in
+          uplink.(i) <- Some pa;
+          Builder.eigrp_cover parent ~asn s;
+          Builder.eigrp_cover routers.(i) ~asn s
+        done;
+        Array.iteri
+          (fun i d ->
+            (* one to three LANs, some behind internal packet filters *)
+            let lans = 1 + Rd_util.Prng.int rng 3 in
+            for _ = 1 to lans do
+              if Rd_util.Prng.bernoulli rng 0.3 then begin
+                let acl = string_of_int (150 + Rd_util.Prng.int rng 40) in
+                Flavor.internal_filter net d ~name:acl ~clauses:(4 + Rd_util.Prng.int rng 10) ();
+                let subnet = Addr_plan.lan plan in
+                let addr = Prefix.nth subnet 1 in
+                ignore
+                  (Device.add_interface d ~kind:"FastEthernet"
+                     ~addr:(addr, Prefix.netmask subnet) ~acl_in:acl ());
+                Builder.eigrp_cover d ~asn subnet
+              end
+              else begin
+                let s, _ = Builder.lan net ~plan d in
+                Builder.eigrp_cover d ~asn s
+              end
+            done;
+            (* occasional static routes toward the uplink *)
+            (match uplink.(i) with
+             | Some nh when Rd_util.Prng.bernoulli rng 0.25 ->
+               Device.add_static d
+                 {
+                   Ast.sr_dest = Addr_plan.lan plan;
+                   sr_next_hop = Ast.Nh_addr nh;
+                   sr_distance = None;
+                 }
+             | _ -> ());
+            (* a few routers of the larger compartments are data-center
+               aggregators with dozens of LANs — the long tail of
+               Figure 4's size distribution *)
+            if size > 64 && Rd_util.Prng.bernoulli rng 0.02 then
+              for _ = 1 to 10 + Rd_util.Prng.int rng 25 do
+                let s, _ = Builder.lan net ~plan d in
+                Builder.eigrp_cover d ~asn s
+              done;
+            Flavor.rare_interfaces net d;
+            Flavor.unnumbered_interface net d)
+          routers;
+        (asn, plan, routers))
+      p.compartments
+  in
+  let compartments = Array.of_list compartments in
+  (* Track how many routers of each compartment are already used as glue
+     members so successive glue instances pick disjoint routers. *)
+  let used = Array.make (Array.length compartments) 0 in
+  (* --- glue BGP instances ---------------------------------------------- *)
+  let glue_members =
+    List.map
+      (fun g ->
+        let members =
+          List.concat_map
+            (fun (ci, count) ->
+              let asn, plan, routers = compartments.(ci) in
+              let base = used.(ci) in
+              used.(ci) <- base + count;
+              List.init count (fun k ->
+                  let d = routers.((base + k) mod Array.length routers) in
+                  (ci, asn, plan, d)))
+            g.g_members
+        in
+        (* IBGP mesh among members (loopback-less: use a dedicated /30 mesh
+           would be heavy; peer on the member's first LAN address).  We
+           give each member a glue loopback instead. *)
+        let addrs =
+          List.map
+            (fun (_, _, _, d) ->
+              let a = Builder.loopback net d in
+              a)
+            members
+        in
+        let arr = Array.of_list members in
+        let addr_arr = Array.of_list addrs in
+        let nm = Array.length arr in
+        for i = 0 to nm - 1 do
+          let _, c_asn, _, d = arr.(i) in
+          (* the loopback must be reachable: cover it in the compartment IGP *)
+          Builder.eigrp_cover d ~asn:c_asn (Prefix.host addr_arr.(i));
+          for j = 0 to nm - 1 do
+            if i <> j then
+              Builder.bgp_neighbor d ~asn:g.g_asn ~peer:addr_arr.(j) ~remote_as:g.g_asn ()
+          done
+        done;
+        (* Redistribution between the glue BGP and each member's EIGRP,
+           with tag-setting and address-based compartment policies. *)
+        List.iter
+          (fun (ci, c_asn, plan, d) ->
+            let comp_acl = Printf.sprintf "%d" (50 + ci) in
+            Builder.std_acl d ~name:comp_acl [ (Ast.Permit, Addr_plan.block plan) ];
+            let rm_out = Printf.sprintf "COMP%d-OUT" ci in
+            Builder.route_map_prefixes d ~name:rm_out ~acl:comp_acl Ast.Permit;
+            let rm_in = Printf.sprintf "TAG-%d-IN" g.g_asn in
+            (* tag external/cross-compartment routes as they enter EIGRP *)
+            Builder.acl_permit_any d ~name:"99";
+            Builder.route_map_prefixes d ~name:rm_in ~acl:"99" ~set_tag:g.g_asn Ast.Permit;
+            Builder.redistribute d ~into:(Ast.Eigrp, Some c_asn)
+              ~src:(Ast.From_protocol (Ast.Bgp, Some g.g_asn)) ~route_map:rm_in ~metric:100 ();
+            Builder.redistribute d ~into:(Ast.Bgp, Some g.g_asn)
+              ~src:(Ast.From_protocol (Ast.Eigrp, Some c_asn)) ~route_map:rm_out ())
+          members;
+        (* External peerings. *)
+        List.iteri
+          (fun k ext_asn ->
+            let _, _, _, d = arr.(k mod nm) in
+            let _, _, remote = Builder.external_link net d in
+            Builder.bgp_neighbor d ~asn:g.g_asn ~peer:remote ~remote_as:ext_asn ())
+          g.g_ext_peers;
+        (g, arr, addr_arr))
+      p.glues
+  in
+  let glue_arr = Array.of_list glue_members in
+  (* --- internal EBGP between glue instances ----------------------------- *)
+  List.iter
+    (fun (gi, gj) ->
+      let g1, m1, _ = glue_arr.(gi) and g2, m2, _ = glue_arr.(gj) in
+      let _, _, _, d1 = m1.(0) and _, _, _, d2 = m2.(0) in
+      let _, a1, a2 = Builder.link net d1 d2 in
+      Builder.bgp_neighbor d1 ~asn:g1.g_asn ~peer:a2 ~remote_as:g2.g_asn ();
+      Builder.bgp_neighbor d2 ~asn:g2.g_asn ~peer:a1 ~remote_as:g1.g_asn ())
+    p.ebgp_intra;
+  net
+
+let net5_params ~seed =
+  {
+    seed;
+    compartments =
+      [ (10, 445); (20, 32); (30, 64); (40, 120); (41, 90); (42, 60); (43, 40); (44, 20); (45, 8); (46, 2) ];
+    glues =
+      [
+        (* instance 4: BGP AS 65001 — six routers redistribute between it
+           and the 445-router EIGRP instance; it also reaches into the
+           32-router compartment. *)
+        { g_asn = 65001; g_members = [ (0, 6); (1, 2) ]; g_ext_peers = [] };
+        (* instance 2: BGP AS 65010, 39 routers. *)
+        { g_asn = 65010; g_members = [ (0, 35); (3, 4) ]; g_ext_peers = [ 7018; 1239 ] };
+        (* instance 3: BGP AS 65040, 7 routers in the 64-router compartment. *)
+        { g_asn = 65040; g_members = [ (2, 7) ]; g_ext_peers = [ 6470; 2914 ] };
+        (* instance 5: BGP AS 10436 — a public AS used internally. *)
+        { g_asn = 10436; g_members = [ (0, 3) ]; g_ext_peers = [ 1629 ] };
+        (* ten smaller internal BGP ASs, one per remaining compartment. *)
+        { g_asn = 64701; g_members = [ (3, 2) ]; g_ext_peers = [ 3356 ] };
+        { g_asn = 64702; g_members = [ (4, 2) ]; g_ext_peers = [ 701 ] };
+        { g_asn = 64703; g_members = [ (4, 1) ]; g_ext_peers = [ 3561 ] };
+        { g_asn = 64704; g_members = [ (5, 2) ]; g_ext_peers = [ 209 ] };
+        { g_asn = 64705; g_members = [ (5, 1) ]; g_ext_peers = [ 2828 ] };
+        { g_asn = 64706; g_members = [ (6, 2) ]; g_ext_peers = [ 4323 ] };
+        { g_asn = 64707; g_members = [ (7, 2) ]; g_ext_peers = [ 6461 ] };
+        { g_asn = 64708; g_members = [ (8, 1) ]; g_ext_peers = [ 174 ] };
+        { g_asn = 64709; g_members = [ (8, 1) ]; g_ext_peers = [ 1299 ] };
+        { g_asn = 64710; g_members = [ (9, 1) ]; g_ext_peers = [ 3549; 6453 ] };
+      ];
+    ebgp_intra = [ (1, 2); (1, 3); (0, 4); (2, 6) ];
+    block = Prefix.of_string_exn "10.0.0.0/8";
+    ext_block = Prefix.of_string_exn "130.16.0.0/12";
+  }

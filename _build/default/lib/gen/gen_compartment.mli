@@ -1,0 +1,34 @@
+(** Compartmentalized network generator — the paper's net5 (§5.1, §6.1,
+    Figure 9).
+
+    EIGRP compartments with carefully laid out per-compartment address
+    blocks are glued by internal BGP instances (private and public ASs);
+    route redistribution carries external routes through several protocol
+    layers, external routes are tagged at injection so route selection can
+    key off tags instead of BGP attributes, and no IBGP mesh spans the
+    network. *)
+
+type glue = {
+  g_asn : int;
+  g_members : (int * int) list;
+      (** (compartment index, router count) — which compartments the BGP
+          instance touches and with how many member routers. *)
+  g_ext_peers : int list;  (** external AS numbers peered with. *)
+}
+
+type params = {
+  seed : int;
+  compartments : (int * int) list;  (** (EIGRP AS, router count). *)
+  glues : glue list;
+  ebgp_intra : (int * int) list;
+      (** pairs of glue indices connected by internal EBGP sessions. *)
+  block : Rd_addr.Prefix.t;
+  ext_block : Rd_addr.Prefix.t;
+}
+
+val generate : params -> Builder.net
+
+val net5_params : seed:int -> params
+(** The parameters reproducing the paper's net5: 881 routers, 10 EIGRP
+    instances (445/120/90/64/60/40/32/20/8/2 routers), 14 internal BGP
+    ASs, 16 external peer ASs — 24 routing instances in total. *)

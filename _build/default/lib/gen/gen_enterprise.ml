@@ -1,0 +1,159 @@
+open Rd_addr
+open Rd_config
+
+type params = {
+  seed : int;
+  n : int;
+  two_igp : bool;
+  asn : int;
+  provider_asn : int;
+  internal_filter_share : float;
+  block : Prefix.t;
+  ext_block : Prefix.t;
+}
+
+let generate p =
+  let net = Builder.create ~seed:p.seed ~block:p.block ~ext_block:p.ext_block in
+  let rng = Builder.prng net in
+  let routers =
+    Array.init p.n (fun i -> Builder.add_router net (Printf.sprintf "ent-r%d" i))
+  in
+  (* Two cores; everything else hangs off a core or an aggregation router
+     in a shallow tree.  Core 0 doubles as the BGP border. *)
+  let n = p.n in
+  let core0 = routers.(0) and core1 = routers.(min 1 (n - 1)) in
+  let igp_of i = if p.two_igp && i >= n / 2 then 2 else 1 in
+  let pid_of i = if igp_of i = 1 then 100 else 200 in
+  let cover i d subnet = Builder.ospf_cover d ~pid:(pid_of i) ~area:0 subnet in
+  (* Core interconnect. *)
+  if n > 1 then begin
+    let s, _, _ = Builder.link net core0 core1 in
+    cover 0 core0 s;
+    cover 1 core1 s
+  end;
+  (* Larger networks also run a shared server segment joining the cores
+     and the first aggregation router — a multipoint internal link. *)
+  if n >= 10 then begin
+    let members = [ core0; core1; routers.(2) ] in
+    let s, _ = Builder.multi_lan net members in
+    List.iteri (fun idx d -> cover (if idx = 2 then 2 else idx) d s) members
+  end;
+  (* Tree links: router i attaches to a previous router in its IGP half.
+     When two IGP instances are used, the router at index n/2 is the
+     splice: it runs both OSPF processes and redistributes mutually (two
+     processes on one router are not adjacent, so the instances stay
+     distinct — links must only ever be covered by one instance). *)
+  let splice = n / 2 in
+  for i = 2 to n - 1 do
+    let parent_idx =
+      if p.two_igp && i = splice then Rd_util.Prng.int_in rng 0 (i - 1)
+      else if igp_of i = 2 then Rd_util.Prng.int_in rng splice (i - 1)
+      else Rd_util.Prng.int_in rng 0 (min (i - 1) (if p.two_igp then splice - 1 else i - 1))
+    in
+    let parent = routers.(parent_idx) in
+    let s, _, _ = Builder.link net parent routers.(i) in
+    if p.two_igp && i = splice then begin
+      (* the splice's uplink lives in instance 1 *)
+      Builder.ospf_cover parent ~pid:100 ~area:0 s;
+      Builder.ospf_cover routers.(i) ~pid:100 ~area:0 s;
+      Builder.redistribute routers.(i) ~into:(Ast.Ospf, Some 100)
+        ~src:(Ast.From_protocol (Ast.Ospf, Some 200)) ~subnets:true ();
+      Builder.redistribute routers.(i) ~into:(Ast.Ospf, Some 200)
+        ~src:(Ast.From_protocol (Ast.Ospf, Some 100)) ~subnets:true ()
+    end
+    else begin
+      cover i routers.(i) s;
+      cover parent_idx parent s
+    end
+  done;
+  (* LANs, filters, texture. *)
+  Array.iteri
+    (fun i d ->
+      let lans = 1 + Rd_util.Prng.int rng 3 in
+      for _ = 1 to lans do
+        if Rd_util.Prng.float rng 1.0 < p.internal_filter_share then begin
+          let acl = string_of_int (110 + Rd_util.Prng.int rng 40) in
+          Flavor.internal_filter net d ~name:acl ~clauses:(3 + Rd_util.Prng.int rng 8) ();
+          let subnet = Addr_plan.lan (Builder.plan net) in
+          let addr = Prefix.nth subnet 1 in
+          ignore
+            (Device.add_interface d ~kind:"FastEthernet" ~addr:(addr, Prefix.netmask subnet)
+               ~acl_in:acl ());
+          cover i d subnet
+        end
+        else begin
+          let subnet, _ = Builder.lan net d in
+          cover i d subnet;
+          (* good practice: host LANs are passive — subnets advertised,
+             no adjacencies offered to hosts *)
+          if Rd_util.Prng.bernoulli rng 0.5 then begin
+            match Device.last_interface_name d with
+            | Some name ->
+              Device.update_process d Ast.Ospf (Some (pid_of i)) (fun p ->
+                  { p with Ast.passive_interfaces = name :: p.passive_interfaces })
+            | None -> ()
+          end
+        end
+      done;
+      Flavor.rare_interfaces net d)
+    routers;
+  (* Border: EBGP to the provider on core0 (and a backup on core1 for
+     larger networks). *)
+  let borders = if n >= 40 then [ (0, core0); (1, core1) ] else [ (0, core0) ] in
+  List.iter
+    (fun (i, border) ->
+      (* Edge packet filter on the external interface; provider edges
+         carry long customer/permit lists. *)
+      let edge_acl = "143" in
+      Flavor.edge_filter ~extra:(25 + Rd_util.Prng.int rng 50) net border ~name:edge_acl
+        ~internal_block:p.block;
+      let _, local, remote = Builder.external_link net ~acl_in:edge_acl border in
+      ignore local;
+      (* summarization: only a handful of summary routes enter OSPF *)
+      let summary_acl = string_of_int (40 + i) in
+      let summaries =
+        List.init (2 + Rd_util.Prng.int rng 3) (fun _ -> Texture.external_reference rng 16)
+      in
+      Builder.std_acl border ~name:summary_acl
+        (List.map (fun s -> (Ast.Permit, s)) summaries);
+      let rm = Printf.sprintf "EXT-IN-%d" i in
+      Builder.route_map_prefixes border ~name:rm ~acl:summary_acl Ast.Permit;
+      Builder.bgp_neighbor border ~asn:p.asn ~peer:remote ~remote_as:p.provider_asn
+        ~dlist_in:summary_acl ();
+      (* announce the enterprise block: via a network statement on the
+         first border, via an aggregate on the second (both occur in the
+         wild) *)
+      if i = 0 then Builder.bgp_network border ~asn:p.asn (Addr_plan.block (Builder.plan net))
+      else
+        Builder.bgp_aggregate border ~asn:p.asn ~summary_only:true
+          (Addr_plan.block (Builder.plan net));
+      Builder.redistribute border ~into:(Ast.Ospf, Some (pid_of i))
+        ~src:(Ast.From_protocol (Ast.Bgp, Some p.asn)) ~route_map:rm ~metric:1 ~subnets:true ();
+      Builder.redistribute border ~into:(Ast.Bgp, Some p.asn)
+        ~src:(Ast.From_protocol (Ast.Ospf, Some (pid_of i))) ();
+      Builder.redistribute border ~into:(Ast.Ospf, Some (pid_of i)) ~src:Ast.From_connected
+        ~subnets:true ();
+      (* the border holds a static default toward the provider and
+         originates it into OSPF — interior routers need no BGP at all *)
+      Device.add_static border
+        { Ast.sr_dest = Prefix.default; sr_next_hop = Ast.Nh_addr remote; sr_distance = Some 250 };
+      Device.update_process border Ast.Ospf (Some (pid_of i)) (fun pr ->
+          { pr with Ast.default_originate = true });
+      (* Half the borders also have a DMZ: a shared multipoint segment
+         whose far side is an unmanaged provider router, detectable only
+         by the §5.2 next-hop heuristic. *)
+      if Rd_util.Prng.bernoulli rng 0.5 then begin
+        let subnet = Addr_plan.lan (Builder.ext_plan net) in
+        let addr = Prefix.nth subnet 1 in
+        ignore
+          (Device.add_interface border ~kind:"Ethernet" ~addr:(addr, Prefix.netmask subnet)
+             ~description:"DMZ segment" ());
+        Device.add_static border
+          {
+            Ast.sr_dest = Texture.external_reference rng 16;
+            sr_next_hop = Ast.Nh_addr (Prefix.nth subnet 254);
+            sr_distance = None;
+          }
+      end)
+    borders;
+  net

@@ -1,0 +1,19 @@
+(** Textbook enterprise network generator (paper §3.1 left half, §7.1).
+
+    A small number of border routers speak EBGP to the provider and inject
+    summarized external routes into one or two OSPF instances covering the
+    whole network; BGP never spans more than the border. *)
+
+type params = {
+  seed : int;
+  n : int;  (** router count. *)
+  two_igp : bool;  (** split routers between two OSPF instances. *)
+  asn : int;  (** the enterprise's (private) AS number. *)
+  provider_asn : int;  (** external AS peered with. *)
+  internal_filter_share : float;
+      (** roughly which share of filter rules lands on internal LANs. *)
+  block : Rd_addr.Prefix.t;
+  ext_block : Rd_addr.Prefix.t;
+}
+
+val generate : params -> Builder.net

@@ -1,0 +1,155 @@
+open Rd_addr
+open Rd_config
+
+type params = {
+  seed : int;
+  n : int;
+  hubs : int;
+  use_bgp : bool;
+  use_filters : bool;
+  igp : Ast.protocol;
+  asn : int;
+  provider_asn : int;
+  spoke_mgmt : int;  (** management-instance tries per spoke. *)
+  block : Prefix.t;
+  ext_block : Prefix.t;
+}
+
+let generate p =
+  let net = Builder.create ~seed:p.seed ~block:p.block ~ext_block:p.ext_block in
+  let rng = Builder.prng net in
+  let hubs = max 1 (min p.hubs (p.n - 1)) in
+  let hub_routers = Array.init hubs (fun i -> Builder.add_router net (Printf.sprintf "hub%d" i)) in
+  let igp_asn = 100 in
+  let cover d s =
+    match p.igp with
+    | Ast.Eigrp -> Builder.eigrp_cover d ~asn:igp_asn s
+    | Ast.Rip -> Builder.rip_cover d s
+    | Ast.Ospf -> Builder.ospf_cover d ~pid:igp_asn ~area:0 s
+    | Ast.Igrp | Ast.Bgp | Ast.Isis -> ()
+  in
+  (* Hub backbone: chain + LANs. *)
+  for k = 1 to hubs - 1 do
+    let s, _, _ = Builder.link net ~kind:"FastEthernet" hub_routers.(k - 1) hub_routers.(k) in
+    cover hub_routers.(k - 1) s;
+    cover hub_routers.(k) s
+  done;
+  Array.iter
+    (fun h ->
+      let s, _ = Builder.lan net h in
+      cover h s)
+    hub_routers;
+  (* Spokes over frame-relay serial links; many stores dual-home to a
+     second hub for resilience. *)
+  let edge_heavy = p.asn mod 2 = 0 in
+  let spoke_filter_p = if edge_heavy then 0.18 else 0.55 in
+  (* Some networks drag along a two-router legacy IGRP island from before
+     an EIGRP migration; it takes the place of two spokes so the router
+     count stays exact. *)
+  let legacy_island = p.asn mod 5 = 0 && p.n >= 12 in
+  let nspokes = p.n - hubs - (if legacy_island then 2 else 0) in
+  for i = 0 to nspokes - 1 do
+    let spoke = Builder.add_router net (Printf.sprintf "spoke%d" i) in
+    let hub = hub_routers.(i mod hubs) in
+    let subnet, hub_addr, spoke_addr = Builder.link net ~kind:"Serial" hub spoke in
+    ignore hub_addr;
+    let lan_subnet, _ = Builder.lan net spoke in
+    if Rd_util.Prng.bernoulli rng 0.65 then begin
+      (* IGP spoke: the hub-spoke link and the store LAN are in the IGP;
+         many stores dual-home to a second hub. *)
+      cover hub subnet;
+      cover spoke subnet;
+      cover spoke lan_subnet;
+      if hubs > 1 && Rd_util.Prng.bernoulli rng 0.4 then begin
+        let hub2 = hub_routers.((i + 1) mod hubs) in
+        let s2, _, _ = Builder.link net ~kind:"Serial" hub2 spoke in
+        cover hub2 s2;
+        cover spoke s2
+      end
+    end
+    else begin
+      (* Static spoke: default toward the hub; the hub statics back and
+         redistributes them into the IGP. *)
+      cover hub subnet;
+      Device.add_static spoke
+        {
+          Ast.sr_dest = Prefix.default;
+          sr_next_hop = Ast.Nh_addr hub_addr;
+          sr_distance = None;
+        };
+      Device.add_static hub
+        {
+          Ast.sr_dest = lan_subnet;
+          sr_next_hop = Ast.Nh_addr spoke_addr;
+          sr_distance = None;
+        };
+      (match p.igp with
+       | Ast.Eigrp ->
+         Builder.redistribute hub ~into:(Ast.Eigrp, Some igp_asn) ~src:Ast.From_static ()
+       | Ast.Rip -> Builder.redistribute hub ~into:(Ast.Rip, None) ~src:Ast.From_static ()
+       | Ast.Ospf ->
+         Builder.redistribute hub ~into:(Ast.Ospf, Some igp_asn) ~src:Ast.From_static
+           ~subnets:true ()
+       | Ast.Igrp | Ast.Bgp | Ast.Isis -> ())
+    end;
+    if p.use_filters && Rd_util.Prng.bernoulli rng spoke_filter_p then begin
+      let acl = string_of_int (120 + Rd_util.Prng.int rng 30) in
+      Flavor.internal_filter net spoke ~name:acl ~clauses:(2 + Rd_util.Prng.int rng 6) ();
+      Flavor.apply_filter_to_lan net spoke ~acl ~kind:"Ethernet"
+    end;
+    if p.spoke_mgmt > 0 then Flavor.mgmt_instances net spoke ~tries:p.spoke_mgmt;
+    Flavor.rare_interfaces net spoke;
+    Flavor.unnumbered_interface net spoke
+  done;
+  (* Optional BGP exit on hub 0. *)
+  let edge_acl_of border =
+    if p.use_filters then begin
+      let extra = if edge_heavy then 60 + Rd_util.Prng.int rng 80 else Rd_util.Prng.int rng 8 in
+      Flavor.edge_filter ~extra net border ~name:"190" ~internal_block:p.block;
+      Some "190"
+    end
+    else None
+  in
+  if p.use_bgp then begin
+    let border = hub_routers.(0) in
+    let _, _, remote = Builder.external_link net ?acl_in:(edge_acl_of border) border in
+    Builder.bgp_neighbor border ~asn:p.asn ~peer:remote ~remote_as:p.provider_asn ();
+    Builder.bgp_network border ~asn:p.asn p.block;
+    (match p.igp with
+     | Ast.Eigrp ->
+       Builder.redistribute border ~into:(Ast.Eigrp, Some igp_asn)
+         ~src:(Ast.From_protocol (Ast.Bgp, Some p.asn)) ~metric:10 ();
+       Builder.redistribute border ~into:(Ast.Bgp, Some p.asn)
+         ~src:(Ast.From_protocol (Ast.Eigrp, Some igp_asn)) ()
+     | Ast.Rip ->
+       Builder.redistribute border ~into:(Ast.Rip, None)
+         ~src:(Ast.From_protocol (Ast.Bgp, Some p.asn)) ~metric:3 ()
+     | _ -> ())
+  end
+  else begin
+    (* No BGP: a plain default static toward the provider on hub 0,
+       pointing out an external link. *)
+    let border = hub_routers.(0) in
+    let _, _, remote = Builder.external_link net ?acl_in:(edge_acl_of border) border in
+    Device.add_static border
+      { Ast.sr_dest = Prefix.default; sr_next_hop = Ast.Nh_addr remote; sr_distance = None }
+  end;
+  (* Management texture on hubs. *)
+  Array.iter (fun h -> Flavor.mgmt_instance net h) hub_routers;
+  (* The legacy IGRP island (the paper's EIGRP census includes two IGRP
+     instances). *)
+  if legacy_island then begin
+    let a = Builder.add_router net "legacy0" and b = Builder.add_router net "legacy1" in
+    let s, _, _ = Builder.link net a b in
+    let cover_igrp d =
+      Device.update_process d Ast.Igrp (Some 5) (fun pr ->
+          { pr with Ast.networks = Ast.Net_wildcard (Rd_addr.Wildcard.of_prefix s, None) :: pr.networks })
+    in
+    cover_igrp a;
+    cover_igrp b;
+    (* tie the island to hub 0 so it is not floating *)
+    let s2, _, _ = Builder.link net hub_routers.(0) a in
+    cover hub_routers.(0) s2;
+    cover a s2
+  end;
+  net

@@ -1,0 +1,22 @@
+(** Hub-and-spoke enterprise generator (paper §8.2's retail example).
+
+    Spokes (stores/branches) attach to hub routers over frame-relay serial
+    subinterface links; an IGP runs between hubs and spokes, some spokes
+    use static routing only.  Optionally no BGP at all (three of the
+    paper's 31 networks use none). *)
+
+type params = {
+  seed : int;
+  n : int;
+  hubs : int;
+  use_bgp : bool;
+  use_filters : bool;
+  igp : Rd_config.Ast.protocol;  (** Eigrp or Rip. *)
+  asn : int;
+  provider_asn : int;
+  spoke_mgmt : int;  (** management-instance tries per spoke. *)
+  block : Rd_addr.Prefix.t;
+  ext_block : Rd_addr.Prefix.t;
+}
+
+val generate : params -> Builder.net

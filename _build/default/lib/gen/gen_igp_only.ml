@@ -1,0 +1,39 @@
+open Rd_config
+
+type params = {
+  seed : int;
+  n : int;
+  igp : Ast.protocol;
+  use_filters : bool;
+  block : Rd_addr.Prefix.t;
+  ext_block : Rd_addr.Prefix.t;
+}
+
+let generate p =
+  let net = Builder.create ~seed:p.seed ~block:p.block ~ext_block:p.ext_block in
+  let rng = Builder.prng net in
+  let routers = Array.init p.n (fun i -> Builder.add_router net (Printf.sprintf "r%d" i)) in
+  let cover d s =
+    match p.igp with
+    | Ast.Eigrp -> Builder.eigrp_cover d ~asn:10 s
+    | Ast.Ospf -> Builder.ospf_cover d ~pid:10 ~area:0 s
+    | Ast.Rip -> Builder.rip_cover d s
+    | Ast.Igrp | Ast.Bgp | Ast.Isis -> ()
+  in
+  for i = 1 to p.n - 1 do
+    let parent = routers.(Rd_util.Prng.int rng i) in
+    let s, _, _ = Builder.link net parent routers.(i) in
+    cover parent s;
+    cover routers.(i) s
+  done;
+  Array.iter
+    (fun d ->
+      let s, _ = Builder.lan net d in
+      cover d s;
+      if p.use_filters && Rd_util.Prng.bernoulli rng 0.4 then begin
+        let acl = string_of_int (130 + Rd_util.Prng.int rng 20) in
+        Flavor.internal_filter net d ~name:acl ~clauses:(2 + Rd_util.Prng.int rng 4) ();
+        Flavor.apply_filter_to_lan net d ~acl ~kind:"FastEthernet"
+      end)
+    routers;
+  net

@@ -1,0 +1,13 @@
+(** Minimal single-IGP network: a handful of routers, one OSPF or EIGRP
+    instance, no BGP, optionally no packet filters at all. *)
+
+type params = {
+  seed : int;
+  n : int;
+  igp : Rd_config.Ast.protocol;
+  use_filters : bool;
+  block : Rd_addr.Prefix.t;
+  ext_block : Rd_addr.Prefix.t;
+}
+
+val generate : params -> Builder.net

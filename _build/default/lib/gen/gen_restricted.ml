@@ -1,0 +1,123 @@
+open Rd_addr
+open Rd_config
+
+type layout = {
+  ab0 : Prefix.t list;
+  ab1 : Prefix.t list;
+  ab2 : Prefix.t;
+  ab3 : Prefix.t list;
+  ab4 : Prefix.t;
+}
+
+type params = {
+  seed : int;
+  left_size : int;
+  right_size : int;
+  as_x : int;
+  as_y : int;
+  layout : layout;
+  ext_block : Prefix.t;
+}
+
+let default_layout =
+  {
+    ab0 = [ Prefix.of_string_exn "198.18.0.0/16"; Prefix.of_string_exn "198.19.0.0/16" ];
+    ab1 = [ Prefix.of_string_exn "203.0.113.0/24"; Prefix.of_string_exn "203.0.114.0/24" ];
+    ab2 = Prefix.of_string_exn "10.16.0.0/14";
+    ab3 = [ Prefix.of_string_exn "192.0.2.0/24" ];
+    ab4 = Prefix.of_string_exn "10.32.0.0/14";
+  }
+
+type border = {
+  b_asn : int;  (** the border's own (private) BGP AS. *)
+  b_remote_asn : int;  (** the public AS peered with. *)
+  b_acl_in : string * Prefix.t list;  (** ingress policy (name, permits). *)
+  b_acl_out : string * Prefix.t list;  (** egress policy. *)
+}
+
+(* One site: an OSPF island over the given block, with border routers in
+   their own single-router BGP instances. *)
+let build_site net rng ~tag ~size ~pid ~block ~borders =
+  let plan = Addr_plan.create block in
+  let routers =
+    Array.init size (fun i -> Builder.add_router net (Printf.sprintf "%s-r%d" tag i))
+  in
+  for i = 1 to size - 1 do
+    let parent = routers.(Rd_util.Prng.int rng i) in
+    let s, _, _ = Builder.link net ~plan parent routers.(i) in
+    Builder.ospf_cover parent ~pid ~area:0 s;
+    Builder.ospf_cover routers.(i) ~pid ~area:0 s
+  done;
+  Array.iter
+    (fun d ->
+      let s, _ = Builder.lan net ~plan d in
+      Builder.ospf_cover d ~pid ~area:0 s)
+    routers;
+  (* A sprinkle of internal packet filters, plus edge filters on borders
+     below — net15 is among the filtered networks of Figure 11. *)
+  Array.iter
+    (fun d ->
+      if Rd_util.Prng.bernoulli rng 0.08 then begin
+        let acl = string_of_int (160 + Rd_util.Prng.int rng 20) in
+        Flavor.internal_filter net d ~name:acl ~clauses:(3 + Rd_util.Prng.int rng 5) ();
+        Flavor.apply_filter_to_lan net d ~acl ~kind:"FastEthernet"
+      end)
+    routers;
+  List.iteri
+    (fun k b ->
+      let d = routers.(k) in
+      let edge_acl = string_of_int (180 + k) in
+      Flavor.edge_filter ~extra:(20 + Rd_util.Prng.int rng 30) net d ~name:edge_acl
+        ~internal_block:block;
+      let _, _, remote = Builder.external_link net ~acl_in:edge_acl d in
+      let in_name, in_permits = b.b_acl_in in
+      let out_name, out_permits = b.b_acl_out in
+      Builder.std_acl d ~name:in_name (List.map (fun p -> (Ast.Permit, p)) in_permits);
+      Builder.std_acl d ~name:out_name (List.map (fun p -> (Ast.Permit, p)) out_permits);
+      Builder.bgp_neighbor d ~asn:b.b_asn ~peer:remote ~remote_as:b.b_remote_asn
+        ~dlist_in:in_name ~dlist_out:out_name ();
+      let rm_in = Printf.sprintf "%s-IN-%d" tag k in
+      let rm_out = Printf.sprintf "%s-OUT-%d" tag k in
+      Builder.route_map_prefixes d ~name:rm_in ~acl:in_name Ast.Permit;
+      Builder.route_map_prefixes d ~name:rm_out ~acl:out_name Ast.Permit;
+      Builder.redistribute d ~into:(Ast.Ospf, Some pid)
+        ~src:(Ast.From_protocol (Ast.Bgp, Some b.b_asn)) ~route_map:rm_in ~metric:1 ~subnets:true ();
+      Builder.redistribute d ~into:(Ast.Bgp, Some b.b_asn)
+        ~src:(Ast.From_protocol (Ast.Ospf, Some pid)) ~route_map:rm_out ())
+    borders;
+  routers
+
+let generate p =
+  let net = Builder.create ~seed:p.seed ~block:p.layout.ab2 ~ext_block:p.ext_block in
+  let rng = Builder.prng net in
+  let l = p.layout in
+  (* Left site: A1 in on both borders, A2 out. *)
+  let _ =
+    build_site net rng ~tag:"L" ~size:p.left_size ~pid:10 ~block:l.ab2
+      ~borders:
+        [
+          { b_asn = 64801; b_remote_asn = p.as_x; b_acl_in = ("11", l.ab0 @ l.ab1); b_acl_out = ("12", [ l.ab2 ]) };
+          { b_asn = 64802; b_remote_asn = p.as_y; b_acl_in = ("11", l.ab0 @ l.ab1); b_acl_out = ("12", [ l.ab2 ]) };
+        ]
+  in
+  (* Right site: A3 in toward AS x, A5 in toward AS y, A4 out on both. *)
+  let _ =
+    build_site net rng ~tag:"R" ~size:p.right_size ~pid:20 ~block:l.ab4
+      ~borders:
+        [
+          { b_asn = 64803; b_remote_asn = p.as_x; b_acl_in = ("13", l.ab0 @ l.ab3); b_acl_out = ("14", [ l.ab4 ]) };
+          { b_asn = 64804; b_remote_asn = p.as_y; b_acl_in = ("15", l.ab0); b_acl_out = ("14", [ l.ab4 ]) };
+        ]
+  in
+  net
+
+let net15_params ~seed =
+  {
+    seed;
+    left_size = 39;
+    right_size = 40;
+    as_x = 25286;
+    as_y = 12762;
+    layout = default_layout;
+    ext_block = Prefix.of_string_exn "130.48.0.0/12";
+  }

@@ -1,0 +1,37 @@
+(** Restricted-reachability network generator — the paper's net15 (§6.2,
+    Figure 12, Table 2).
+
+    Two sites, each an OSPF instance with two BGP border instances peering
+    with two public ASs.  Redistribution policies A1-A5 over address
+    blocks AB0-AB4 admit only a handful of external destinations (two /16s
+    and three /24s, no default route), let each site's own block out, and
+    have pairwise-empty intersections across sites — so the two sites can
+    never reach each other through the public ASs. *)
+
+open Rd_addr
+
+type layout = {
+  ab0 : Prefix.t list;  (** external destinations all sites may reach (two /16). *)
+  ab1 : Prefix.t list;  (** extra destinations for the left site (two /24). *)
+  ab2 : Prefix.t;  (** the left site's internal block. *)
+  ab3 : Prefix.t list;  (** extra destinations for the right site (one /24). *)
+  ab4 : Prefix.t;  (** the right site's internal block. *)
+}
+
+type params = {
+  seed : int;
+  left_size : int;  (** routers in the left site incl. borders. *)
+  right_size : int;
+  as_x : int;  (** first public AS peered with. *)
+  as_y : int;  (** second public AS peered with. *)
+  layout : layout;
+  ext_block : Prefix.t;
+}
+
+val generate : params -> Builder.net
+
+val net15_params : seed:int -> params
+(** 79 routers (39 left + 40 right), 6 instances, public ASs 25286 and
+    12762, the Table 2 policy contents. *)
+
+val default_layout : layout

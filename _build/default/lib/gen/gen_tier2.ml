@@ -1,0 +1,137 @@
+open Rd_addr
+open Rd_config
+
+type params = {
+  seed : int;
+  n : int;
+  asn : int;
+  staging_per_agg : int * int;
+  agg_fraction : float;
+  ebgp_sessions : int;
+  confederation : int;
+      (** 0 = single IBGP AS; k>0 = split into k internal ASs whose border
+          routers form a full internal EBGP mesh (merged-network legacy,
+          §5.2's "EBGP used for intra-network routing"). *)
+  borders_per_cluster : int;
+  block : Prefix.t;
+  ext_block : Prefix.t;
+}
+
+let generate p =
+  let net = Builder.create ~seed:p.seed ~block:p.block ~ext_block:p.ext_block in
+  let rng = Builder.prng net in
+  let routers = Array.init p.n (fun i -> Builder.add_router net (Printf.sprintf "t2-r%d" i)) in
+  let n = p.n in
+  let pid = 1 in
+  let cover d s = Builder.ospf_cover d ~pid ~area:0 s in
+  let loops = Array.map (fun d -> Builder.loopback net d) routers in
+  Array.iteri (fun i d -> cover d (Prefix.host loops.(i))) routers;
+  (* Core: ring of the first routers plus a tree for the rest. *)
+  let ncore = max 2 (n / 20) in
+  for k = 0 to ncore - 1 do
+    let s, _, _ = Builder.link net ~kind:"POS" routers.(k) routers.((k + 1) mod ncore) in
+    cover routers.(k) s;
+    cover routers.((k + 1) mod ncore) s
+  done;
+  for i = ncore to n - 1 do
+    let parent = routers.(Rd_util.Prng.int rng i) in
+    let kind = Rd_util.Prng.choice_list rng [ "ATM"; "ATM"; "GigabitEthernet"; "Serial" ] in
+    let s, _, _ = Builder.link net ~kind parent routers.(i) in
+    cover parent s;
+    cover routers.(i) s
+  done;
+  (* BGP layout: either one IBGP AS with route reflection, or a
+     confederation-like split into k internal ASs glued by an internal
+     EBGP mesh between cluster borders. *)
+  let session asn_i i asn_j j =
+    Builder.bgp_neighbor routers.(i) ~asn:asn_i ~peer:loops.(j) ~remote_as:asn_j ();
+    Builder.bgp_neighbor routers.(j) ~asn:asn_j ~peer:loops.(i) ~remote_as:asn_i ()
+  in
+  let border_routers =
+    if p.confederation <= 0 then begin
+      for i = 0 to ncore - 1 do
+        for j = i + 1 to ncore - 1 do
+          session p.asn i p.asn j
+        done
+      done;
+      for i = ncore to n - 1 do
+        session p.asn i p.asn (i mod ncore);
+        session p.asn i p.asn ((i + 1) mod ncore)
+      done;
+      Builder.bgp_network routers.(0) ~asn:p.asn p.block;
+      List.init (max 1 (ncore / 2)) (fun b -> (p.asn, b))
+    end
+    else begin
+      let k = p.confederation in
+      let cluster_of i = i mod k in
+      let asn_of ci = 64512 + ci in
+      (* IBGP within each cluster: members peer with the cluster's two
+         lowest-numbered routers. *)
+      let head ci = ci and second ci = ci + k in
+      for i = 0 to n - 1 do
+        let ci = cluster_of i in
+        let a = asn_of ci in
+        if i <> head ci then session a i a (head ci);
+        if n > 2 * k && i <> second ci && second ci < n then session a i a (second ci)
+      done;
+      (* Internal EBGP mesh between cluster borders. *)
+      let borders =
+        List.concat
+          (List.init k (fun ci ->
+               List.init (min p.borders_per_cluster (n / k)) (fun b ->
+                   let idx = ci + (b * k) in
+                   if idx < n then [ (asn_of ci, idx) ] else [])
+               |> List.concat))
+      in
+      let rec mesh = function
+        | [] -> ()
+        | (a1, i1) :: rest ->
+          List.iter (fun (a2, i2) -> if a1 <> a2 then session a1 i1 a2 i2) rest;
+          mesh rest
+      in
+      mesh borders;
+      Builder.bgp_network routers.(0) ~asn:(asn_of 0) p.block;
+      borders
+    end
+  in
+  (* External EBGP sessions spread over border routers. *)
+  let border_arr = Array.of_list border_routers in
+  let nborder = Array.length border_arr in
+  let per_border = max 1 (p.ebgp_sessions / max 1 nborder) in
+  Array.iter
+    (fun (asn, i) ->
+      let d = routers.(i) in
+      let acl = "198" in
+      Flavor.edge_filter net d ~name:acl ~internal_block:p.block;
+      for _ = 1 to per_border do
+        let _, _, remote = Builder.external_link net ~acl_in:acl d in
+        Builder.bgp_neighbor d ~asn ~peer:remote ~remote_as:(1000 + Rd_util.Prng.int rng 40000) ()
+      done)
+    border_arr;
+  (* Staging IGP instances on aggregation routers: separate IGP processes
+     covering only customer-facing /30s whose far end is not in the data
+     set. *)
+  let lo, hi = p.staging_per_agg in
+  Array.iteri
+    (fun i d ->
+      if i >= ncore && Rd_util.Prng.bernoulli rng p.agg_fraction then begin
+        let count = Rd_util.Prng.int_in rng lo hi in
+        for c = 1 to count do
+          let subnet, _, _ = Builder.external_link net ~kind:"Serial" d in
+          let proto = Rd_util.Prng.weighted rng Flavor.staging_weights in
+          match proto with
+          | Ast.Ospf -> Builder.ospf_cover d ~pid:(1000 + c) ~area:0 subnet
+          | Ast.Eigrp -> Builder.eigrp_cover d ~asn:(1000 + c) subnet
+          | Ast.Rip -> Builder.rip_cover d subnet
+          | Ast.Igrp | Ast.Bgp | Ast.Isis -> ()
+        done
+      end)
+    routers;
+  (* Per-router texture: management instances and legacy interfaces. *)
+  Array.iter
+    (fun d ->
+      Flavor.mgmt_instances net d ~tries:5;
+      Flavor.rare_interfaces net d;
+      Flavor.unnumbered_interface net d)
+    routers;
+  net

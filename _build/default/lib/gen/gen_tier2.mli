@@ -1,0 +1,25 @@
+(** Tier-2 ISP generator (paper §7.1).
+
+    Has the BGP structure of a backbone — an IBGP-spanning instance and
+    many external EBGP sessions — but additionally a very large number of
+    *staging* IGP instances: single-router IGP processes speaking on
+    customer-facing edge links, used instead of static routes so the link
+    to the customer keeps being validated. *)
+
+type params = {
+  seed : int;
+  n : int;
+  asn : int;
+  staging_per_agg : int * int;  (** staging instances per aggregation router. *)
+  agg_fraction : float;  (** share of routers doing customer aggregation. *)
+  ebgp_sessions : int;  (** total external BGP sessions. *)
+  confederation : int;
+      (** 0 = one IBGP AS; k>0 = k internal ASs whose borders form a full
+          internal EBGP mesh (the paper's "EBGP used as an internal
+          protocol", often a legacy of corporate mergers). *)
+  borders_per_cluster : int;
+  block : Rd_addr.Prefix.t;
+  ext_block : Rd_addr.Prefix.t;
+}
+
+val generate : params -> Builder.net

@@ -1,0 +1,113 @@
+let token rng =
+  let alphabet = "abcdefghijklmnopqrstuvwxyz0123456789" in
+  String.init (6 + Rd_util.Prng.int rng 6) (fun _ ->
+      alphabet.[Rd_util.Prng.int rng (String.length alphabet)])
+
+let boilerplate rng ~hostname =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  let versions = [ "11.3"; "12.0"; "12.1"; "12.2"; "12.3" ] in
+  line "version %s" (Rd_util.Prng.choice_list rng versions);
+  line "service timestamps debug datetime msec";
+  line "service timestamps log datetime msec";
+  line "service password-encryption";
+  line "!";
+  line "boot system flash";
+  line "enable secret 5 %s" (token rng);
+  line "!";
+  if Rd_util.Prng.bernoulli rng 0.6 then begin
+    line "aaa new-model";
+    line " aaa authentication login default group tacacs+ local";
+    line " aaa authorization exec default group tacacs+ if-authenticated";
+    line "!"
+  end;
+  for _ = 1 to 1 + Rd_util.Prng.int rng 3 do
+    line "username %s privilege 15 password 7 %s" (token rng) (token rng)
+  done;
+  line "clock timezone GMT 0";
+  line "no ip domain-lookup";
+  line "ip subnet-zero";
+  line "ip cef";
+  line "ip classless";
+  line "ip domain-name %s.example" (token rng);
+  for _ = 1 to 1 + Rd_util.Prng.int rng 2 do
+    line "ip name-server %d.%d.%d.%d" (Rd_util.Prng.int_in rng 1 223) (Rd_util.Prng.int rng 255)
+      (Rd_util.Prng.int rng 255) (Rd_util.Prng.int_in rng 1 254)
+  done;
+  for _ = 1 to Rd_util.Prng.int rng 6 do
+    line "ip host %s %d.%d.%d.%d" (token rng) (Rd_util.Prng.int_in rng 1 223)
+      (Rd_util.Prng.int rng 255) (Rd_util.Prng.int rng 255) (Rd_util.Prng.int_in rng 1 254)
+  done;
+  line "no ip http server";
+  if Rd_util.Prng.bernoulli rng 0.5 then line "cdp run";
+  line "!";
+  ignore hostname;
+  Buffer.contents buf
+
+let boilerplate_footer rng =
+  let buf = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  line "!";
+  for _ = 1 to 1 + Rd_util.Prng.int rng 2 do
+    line "ntp server %d.%d.%d.%d" (Rd_util.Prng.int_in rng 1 223) (Rd_util.Prng.int rng 255)
+      (Rd_util.Prng.int rng 255) (Rd_util.Prng.int_in rng 1 254)
+  done;
+  line "logging buffered 4096";
+  line "snmp-server community %s RO" (token rng);
+  line "snmp-server location %s" (token rng);
+  line "tacacs-server host %d.%d.%d.%d" (Rd_util.Prng.int_in rng 1 223)
+    (Rd_util.Prng.int rng 255) (Rd_util.Prng.int rng 255) (Rd_util.Prng.int_in rng 1 254);
+  line "!";
+  for _ = 1 to 2 + Rd_util.Prng.int rng 4 do
+    line "access-list 98 permit %d.%d.%d.%d" (Rd_util.Prng.int_in rng 1 223)
+      (Rd_util.Prng.int rng 255) (Rd_util.Prng.int rng 255) (Rd_util.Prng.int_in rng 1 254)
+  done;
+  line "access-list 98 deny any";
+  line "!";
+  line "line con 0";
+  line " exec-timeout 5 0";
+  line " password 7 %s" (token rng);
+  line " login";
+  line "line aux 0";
+  line " no exec";
+  line "line vty 0 4";
+  line " access-class 98 in";
+  line " password 7 %s" (token rng);
+  line " login";
+  line "line vty 5 15";
+  line " access-class 98 in";
+  line " password 7 %s" (token rng);
+  line " login";
+  line "!";
+  line "end";
+  Buffer.contents buf
+
+(* A prefix in far-away public space (96.0.0.0/4), for policies and static
+   routes that reference external destinations without consuming any
+   allocator: disjoint from the 10/8 internal and 128/4 external pools. *)
+let external_reference rng len =
+  let space = Rd_addr.Prefix.of_string_exn "96.0.0.0/4" in
+  let count = Rd_addr.Prefix.size space / (1 lsl (32 - len)) in
+  Rd_addr.Prefix.nth_subnet space len (Rd_util.Prng.int rng count)
+
+let iface_extras rng ~kind =
+  match kind with
+  | "Serial" ->
+    let base = [ "bandwidth 1544" ] in
+    if Rd_util.Prng.bernoulli rng 0.35 then
+      base
+      @ [
+          "encapsulation frame-relay";
+          Printf.sprintf "frame-relay interface-dlci %d" (Rd_util.Prng.int_in rng 16 1000);
+        ]
+    else if Rd_util.Prng.bernoulli rng 0.3 then base @ [ "keepalive 10" ]
+    else base
+  | "FastEthernet" | "Ethernet" | "GigabitEthernet" ->
+    if Rd_util.Prng.bernoulli rng 0.5 then [ "duplex full"; "speed 100" ]
+    else if Rd_util.Prng.bernoulli rng 0.3 then [ "no cdp enable" ]
+    else []
+  | "POS" -> [ "crc 32"; "clock source internal" ]
+  | "ATM" -> [ "atm pvc 1 0 100 aal5snap" ]
+  | "Hssi" -> [ "hssi internal-clock" ]
+  | _ -> []
+

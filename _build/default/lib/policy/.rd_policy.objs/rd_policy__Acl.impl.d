@@ -1,0 +1,1 @@
+lib/policy/acl.ml: Ast List Prefix Prefix_set Rd_addr Rd_config String Wildcard

@@ -1,0 +1,1 @@
+lib/policy/acl.mli: Ast Ipv4 Prefix Prefix_set Rd_addr Rd_config

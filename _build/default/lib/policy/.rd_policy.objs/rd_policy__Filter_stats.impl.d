@@ -1,0 +1,1 @@
+lib/policy/filter_stats.ml: Array List Rd_config Rd_topo

@@ -1,0 +1,1 @@
+lib/policy/filter_stats.mli: Rd_topo

@@ -1,0 +1,1 @@
+lib/policy/prefix_list_policy.mli: Ast Prefix Prefix_set Rd_addr Rd_config

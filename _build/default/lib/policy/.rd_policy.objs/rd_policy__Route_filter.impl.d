@@ -1,0 +1,1 @@
+lib/policy/route_filter.ml: Acl List Prefix_list_policy Prefix_set Rd_addr Route_map

@@ -1,0 +1,1 @@
+lib/policy/route_map.ml: Acl Ast List Prefix Prefix_list_policy Prefix_set Rd_addr Rd_config

@@ -1,0 +1,1 @@
+lib/policy/route_map.mli: Ast Prefix Prefix_set Rd_addr Rd_config

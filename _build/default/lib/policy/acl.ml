@@ -1,0 +1,65 @@
+open Rd_addr
+open Rd_config
+
+type verdict = Ast.action
+
+let eval_addr (acl : Ast.acl) a =
+  let rec go = function
+    | [] -> Ast.Deny
+    | (c : Ast.acl_clause) :: rest -> if Wildcard.matches c.src a then c.clause_action else go rest
+  in
+  go acl.clauses
+
+let port_matches pm p =
+  match pm with
+  | None -> true
+  | Some (Ast.Port_eq q) -> p = Some q
+  | Some (Ast.Port_gt q) -> (match p with Some p -> p > q | None -> false)
+  | Some (Ast.Port_lt q) -> (match p with Some p -> p < q | None -> false)
+  | Some (Ast.Port_range (a, b)) -> (match p with Some p -> p >= a && p <= b | None -> false)
+
+let proto_matches clause_proto proto =
+  match clause_proto with
+  | None | Some "ip" -> true
+  | Some cp -> (match proto with Some p -> String.equal cp p | None -> false)
+
+let eval_packet (acl : Ast.acl) ~src ~dst ?proto ?src_port ?dst_port () =
+  let rec go = function
+    | [] -> Ast.Deny
+    | (c : Ast.acl_clause) :: rest ->
+      let m =
+        Wildcard.matches c.src src
+        && (match c.dst with None -> true | Some d -> Wildcard.matches d dst)
+        && proto_matches c.ip_proto proto
+        && port_matches c.src_port src_port
+        && port_matches c.dst_port dst_port
+      in
+      if m then c.clause_action else go rest
+  in
+  go acl.clauses
+
+let eval_route (acl : Ast.acl) p = eval_addr acl (Prefix.network p)
+
+let clause_set (c : Ast.acl_clause) =
+  match Wildcard.to_prefix c.src with
+  | Some p -> Prefix_set.of_prefix p
+  | None -> invalid_arg "Acl.permitted_set: non-contiguous wildcard"
+
+let permitted_set (acl : Ast.acl) =
+  (* First-match: a clause only claims addresses not claimed earlier. *)
+  let rec go permitted claimed = function
+    | [] -> permitted
+    | (c : Ast.acl_clause) :: rest ->
+      let s = Prefix_set.diff (clause_set c) claimed in
+      let permitted =
+        match c.clause_action with
+        | Ast.Permit -> Prefix_set.union permitted s
+        | Ast.Deny -> permitted
+      in
+      go permitted (Prefix_set.union claimed s) rest
+  in
+  go Prefix_set.empty Prefix_set.empty acl.clauses
+
+let clause_count (acl : Ast.acl) = List.length acl.clauses
+
+let matches_any (c : Ast.acl_clause) = Wildcard.equal c.src Wildcard.any

@@ -1,0 +1,42 @@
+(** Access-list evaluation.
+
+    ACLs serve two distinct roles in a configuration (paper §2.4): as
+    packet filters attached to interfaces, and as route filters referenced
+    by distribute-lists and route-maps.  Both use first-match semantics
+    with an implicit trailing deny. *)
+
+open Rd_addr
+open Rd_config
+
+type verdict = Ast.action  (** [Permit] or [Deny]. *)
+
+val eval_addr : Ast.acl -> Ipv4.t -> verdict
+(** Match a single source address (standard-ACL semantics). *)
+
+val eval_packet :
+  Ast.acl ->
+  src:Ipv4.t ->
+  dst:Ipv4.t ->
+  ?proto:string ->
+  ?src_port:int ->
+  ?dst_port:int ->
+  unit ->
+  verdict
+(** Match a packet against an extended (or standard) ACL.  A standard ACL
+    inspects only [src]. *)
+
+val eval_route : Ast.acl -> Prefix.t -> verdict
+(** Route-filtering semantics: a clause matches a route if the route's
+    network address matches the clause's source spec.  This is how IOS
+    applies standard ACLs in distribute-lists. *)
+
+val permitted_set : Ast.acl -> Prefix_set.t
+(** The exact set of addresses permitted by the ACL, honouring first-match
+    order.  Requires every clause's source wildcard to be contiguous;
+    non-contiguous wildcards raise [Invalid_argument] (the generator never
+    emits them; real configs rarely contain them). *)
+
+val clause_count : Ast.acl -> int
+
+val matches_any : Ast.acl_clause -> bool
+(** Whether the clause is a catch-all (source [any]). *)

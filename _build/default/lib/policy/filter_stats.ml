@@ -1,0 +1,47 @@
+type placement = {
+  total_rules : int;
+  internal_rules : int;
+  external_rules : int;
+  filters_defined : int;
+  largest_filter : int;
+}
+
+let analyze (topo : Rd_topo.Topology.t) =
+  let total = ref 0 and internal = ref 0 and external_ = ref 0 in
+  let defined = ref 0 and largest = ref 0 in
+  Array.iter
+    (fun (_, (cfg : Rd_config.Ast.t)) ->
+      List.iter
+        (fun (a : Rd_config.Ast.acl) ->
+          incr defined;
+          largest := max !largest (List.length a.clauses))
+        cfg.acls)
+    topo.routers;
+  Array.iteri
+    (fun ri (_, (cfg : Rd_config.Ast.t)) ->
+      List.iteri
+        (fun ii (i : Rd_config.Ast.interface) ->
+          List.iter
+            (fun (acl_name, _dir) ->
+              match Rd_config.Ast.find_acl cfg acl_name with
+              | None -> ()
+              | Some acl ->
+                let rules = List.length acl.clauses in
+                total := !total + rules;
+                (match Rd_topo.Topology.facing_of topo ri ii with
+                 | Rd_topo.Topology.Internal -> internal := !internal + rules
+                 | Rd_topo.Topology.External -> external_ := !external_ + rules))
+            i.access_groups)
+        cfg.interfaces)
+    topo.routers;
+  {
+    total_rules = !total;
+    internal_rules = !internal;
+    external_rules = !external_;
+    filters_defined = !defined;
+    largest_filter = !largest;
+  }
+
+let internal_percentage p =
+  if p.total_rules = 0 then None
+  else Some (100.0 *. float_of_int p.internal_rules /. float_of_int p.total_rules)

@@ -1,0 +1,21 @@
+(** Packet-filter placement statistics (paper §5.3, Figure 11).
+
+    The unit of measurement is the filter *rule* (one ACL clause); a
+    filter applied on an interface contributes all its clauses to that
+    interface, and the interface's internal/external classification comes
+    from topology inference. *)
+
+type placement = {
+  total_rules : int;  (** rules applied somewhere (counted per application). *)
+  internal_rules : int;  (** rules applied to internal-facing interfaces. *)
+  external_rules : int;
+  filters_defined : int;  (** distinct ACLs defined across the network. *)
+  largest_filter : int;  (** clause count of the biggest ACL (the paper found a 47-clause one). *)
+}
+
+val analyze : Rd_topo.Topology.t -> placement
+(** Gather placement statistics for one network. *)
+
+val internal_percentage : placement -> float option
+(** [None] when the network applies no packet filters (the paper excludes
+    such networks from Figure 11). *)

@@ -1,0 +1,40 @@
+(** Route filters as prefix-set transformers.
+
+    Redistribution edges and routing-protocol sessions carry policies
+    (distribute-lists, per-neighbor filters, route-maps).  For
+    instance-level reachability analysis (paper §6.2) each policy is
+    abstracted to the set of destination addresses whose routes it lets
+    through; composing edges is then set intersection. *)
+
+open Rd_addr
+open Rd_config
+
+type t
+(** A filter: semantically a predicate on route prefixes. *)
+
+val everything : t
+val nothing : t
+
+val of_acl : Ast.acl -> t
+val of_route_map :
+  Ast.route_map ->
+  lookup_acl:(string -> Ast.acl option) ->
+  ?lookup_prefix_list:(string -> Ast.prefix_list option) ->
+  unit ->
+  t
+val of_prefix_list : Ast.prefix_list -> t
+val of_dlists : Ast.acl list -> t
+(** Conjunction of several distribute-lists (all must permit). *)
+
+val conj : t -> t -> t
+(** Both filters must permit. *)
+
+val permits : t -> Prefix.t -> bool
+
+val apply : t -> Prefix_set.t -> Prefix_set.t
+(** Restrict a set of destinations to those the filter permits. *)
+
+val permitted : t -> Prefix_set.t
+(** The permitted address set itself. *)
+
+val is_unrestricted : t -> bool

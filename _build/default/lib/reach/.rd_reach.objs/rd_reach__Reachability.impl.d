@@ -1,0 +1,1 @@
+lib/reach/reachability.ml: Array Instance_graph Ipv4 List Prefix_set Process Rd_addr Rd_config Rd_policy Rd_routing Rd_topo

@@ -1,0 +1,1 @@
+lib/reach/reachability.mli: Ipv4 Prefix_set Rd_addr Rd_routing

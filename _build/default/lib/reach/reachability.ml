@@ -1,0 +1,138 @@
+open Rd_addr
+open Rd_routing
+
+type t = {
+  graph : Instance_graph.t;
+  origins : Prefix_set.t array;
+  routes : Prefix_set.t array;
+  advertised : (int * Prefix_set.t) list;
+  iterations : int;
+}
+
+(* Compute every instance's origin set in one pass over the interfaces,
+   processes, and local redistributions. *)
+let origins_bulk (g : Instance_graph.t) =
+  let catalog = g.catalog in
+  let n = Array.length g.assignment.instances in
+  let origins = Array.make n Prefix_set.empty in
+  let add i p = origins.(i) <- Prefix_set.add p origins.(i) in
+  (* Subnets of interfaces covered by member processes. *)
+  Array.iter
+    (fun (ifc : Rd_topo.Topology.iface) ->
+      match (ifc.address, ifc.subnet) with
+      | Some (a, _), Some s ->
+        List.iter
+          (fun pid ->
+            let p = catalog.processes.(pid) in
+            if Process.covers p a then add g.assignment.of_process.(pid) s)
+          catalog.by_router.(ifc.router)
+      | _ -> ())
+    catalog.topo.ifaces;
+  (* BGP network statements and aggregate-addresses originate prefixes
+     into the instance. *)
+  Array.iter
+    (fun (p : Process.t) ->
+      List.iter
+        (function
+          | Rd_config.Ast.Net_mask pr -> add g.assignment.of_process.(p.pid) pr
+          | Rd_config.Ast.Net_classful _ | Rd_config.Ast.Net_wildcard _ -> ())
+        p.ast.networks;
+      List.iter (fun (pr, _) -> add g.assignment.of_process.(p.pid) pr) p.ast.aggregates)
+    catalog.processes;
+  (* Connected/static redistribution into the instance. *)
+  List.iter
+    (fun (i, router, (r : Rd_config.Ast.redistribute)) ->
+      let cfg = snd catalog.topo.routers.(router) in
+      let subject =
+        match r.source with
+        | Rd_config.Ast.From_connected ->
+          List.fold_left
+            (fun acc (ifc : Rd_config.Ast.interface) ->
+              if ifc.shutdown then acc
+              else
+                List.fold_left
+                  (fun acc p -> Prefix_set.add p acc)
+                  acc
+                  (Rd_config.Ast.interface_prefixes ifc))
+            Prefix_set.empty cfg.interfaces
+        | Rd_config.Ast.From_static ->
+          List.fold_left
+            (fun acc (s : Rd_config.Ast.static_route) -> Prefix_set.add s.sr_dest acc)
+            Prefix_set.empty cfg.statics
+        | Rd_config.Ast.From_protocol _ -> Prefix_set.empty
+      in
+      let filter =
+        match r.route_map with
+        | None -> Rd_policy.Route_filter.everything
+        | Some name -> (
+          match Rd_config.Ast.find_route_map cfg name with
+          | Some rm ->
+            Rd_policy.Route_filter.of_route_map rm ~lookup_acl:(Rd_config.Ast.find_acl cfg)
+              ~lookup_prefix_list:(Rd_config.Ast.find_prefix_list cfg) ()
+          | None -> Rd_policy.Route_filter.everything)
+      in
+      origins.(i) <- Prefix_set.union origins.(i) (Rd_policy.Route_filter.apply filter subject))
+    g.local_redists;
+  origins
+
+let origin_of_instance (g : Instance_graph.t) inst_id = (origins_bulk g).(inst_id)
+
+let compute ?(external_offers = Prefix_set.full) (g : Instance_graph.t) =
+  let origins = origins_bulk g in
+  let routes = Array.map (fun s -> s) origins in
+  let changed = ref true in
+  let iterations = ref 0 in
+  while !changed do
+    changed := false;
+    incr iterations;
+    List.iter
+      (fun (e : Instance_graph.edge) ->
+        let inflow =
+          match e.src with
+          | Instance_graph.External _ -> external_offers
+          | Instance_graph.Inst i -> routes.(i)
+        in
+        match e.dst with
+        | Instance_graph.External _ -> ()
+        | Instance_graph.Inst d ->
+          let add = Rd_policy.Route_filter.apply e.filter inflow in
+          let merged = Prefix_set.union routes.(d) add in
+          if not (Prefix_set.equal merged routes.(d)) then begin
+            routes.(d) <- merged;
+            changed := true
+          end)
+      g.edges
+  done;
+  (* What each external AS can hear from us, after fixpoint. *)
+  let advertised =
+    List.fold_left
+      (fun acc (e : Instance_graph.edge) ->
+        match (e.src, e.dst) with
+        | Instance_graph.Inst i, Instance_graph.External a ->
+          let out = Rd_policy.Route_filter.apply e.filter routes.(i) in
+          let cur = try List.assoc a acc with Not_found -> Prefix_set.empty in
+          (a, Prefix_set.union cur out) :: List.remove_assoc a acc
+        | _ -> acc)
+      [] g.edges
+  in
+  { graph = g; origins; routes; advertised; iterations = !iterations }
+
+let routes_of t i = t.routes.(i)
+
+let internal_space t = Array.fold_left Prefix_set.union Prefix_set.empty t.origins
+
+let external_routes_of t i = Prefix_set.diff t.routes.(i) (internal_space t)
+
+let instance_of_addr t a =
+  let n = Array.length t.origins in
+  let rec go i = if i = n then None else if Prefix_set.mem a t.origins.(i) then Some i else go (i + 1) in
+  go 0
+
+let can_reach t ~src ~dst =
+  match instance_of_addr t src with
+  | None -> false
+  | Some i -> Prefix_set.mem dst t.routes.(i)
+
+let two_way t ~a ~b = can_reach t ~src:a ~dst:b && can_reach t ~src:b ~dst:a
+
+let has_default t i = Prefix_set.mem Ipv4.zero t.routes.(i)

@@ -1,0 +1,54 @@
+(** Static reachability analysis over the routing instance graph
+    (paper §6.2, following the approach of CMU-CS-04-146).
+
+    The analysis avoids modelling per-router route selection: it computes,
+    for every routing instance, the set of destination addresses for which
+    *some* route can be present in the instance, by propagating origin
+    sets along the instance graph's edges and intersecting with each
+    edge's route filter until fixpoint.  This is exactly the middle ground
+    the paper advocates — strong enough to prove results like net15's
+    "hosts in AB2 can never reach hosts in AB4". *)
+
+open Rd_addr
+
+type t = {
+  graph : Rd_routing.Instance_graph.t;
+  origins : Prefix_set.t array;  (** per instance: subnets it originates. *)
+  routes : Prefix_set.t array;
+      (** per instance: destinations it can have routes for at fixpoint. *)
+  advertised : (int * Prefix_set.t) list;
+      (** per external AS: our routes it can hear. *)
+  iterations : int;  (** fixpoint rounds used. *)
+}
+
+val compute : ?external_offers:Prefix_set.t -> Rd_routing.Instance_graph.t -> t
+(** [external_offers] is the route set the outside world presents on every
+    inbound edge (default: the full address space — the Internet offers a
+    route to everything). *)
+
+val origin_of_instance : Rd_routing.Instance_graph.t -> int -> Prefix_set.t
+(** Connected subnets attached to an instance: subnets of interfaces
+    covered by its member processes, plus connected/static redistribution
+    into it. *)
+
+val routes_of : t -> int -> Prefix_set.t
+
+val external_routes_of : t -> int -> Prefix_set.t
+(** Routes in the instance for destinations outside the network — the
+    quantity that bounds IGP load in §6.2. *)
+
+val can_reach : t -> src:Ipv4.t -> dst:Ipv4.t -> bool
+(** A host at [src] (in some instance's origin set) can send packets
+    toward [dst]: its instance holds a route covering [dst].  [false] when
+    [src] is not attached to any instance. *)
+
+val two_way : t -> a:Ipv4.t -> b:Ipv4.t -> bool
+(** Both directions hold — the paper's net15 case shows one-way
+    reachability is a real phenomenon. *)
+
+val internal_space : t -> Prefix_set.t
+(** Union of every instance's origins. *)
+
+val has_default : t -> int -> bool
+(** Whether instance holds a default (0.0.0.0/0-covering) route — net15
+    permits no default route in. *)

@@ -1,0 +1,1 @@
+lib/routing/adjacency.ml: Array Ast Hashtbl Ipv4 List Prefix Process Rd_addr Rd_config Rd_topo

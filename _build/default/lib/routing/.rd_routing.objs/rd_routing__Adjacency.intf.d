@@ -1,0 +1,1 @@
+lib/routing/adjacency.mli: Ipv4 Prefix Process Rd_addr

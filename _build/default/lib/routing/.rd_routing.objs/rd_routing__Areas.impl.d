@@ -1,0 +1,1 @@
+lib/routing/areas.ml: Array Ast Buffer Hashtbl Instance Int List Printf Process Rd_config Rd_topo String

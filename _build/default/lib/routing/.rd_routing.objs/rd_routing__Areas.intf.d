@@ -1,0 +1,1 @@
+lib/routing/areas.mli: Instance Process

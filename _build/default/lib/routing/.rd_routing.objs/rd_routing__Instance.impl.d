@@ -1,0 +1,1 @@
+lib/routing/instance.ml: Adjacency Array Ast Hashtbl Int List Printf Process Rd_config Rd_util

@@ -1,0 +1,1 @@
+lib/routing/instance.mli: Adjacency Ast Process Rd_config

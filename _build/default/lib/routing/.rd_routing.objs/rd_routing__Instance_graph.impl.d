@@ -1,0 +1,1 @@
+lib/routing/instance_graph.ml: Adjacency Array Ast Hashtbl Instance Int Ipv4 List Option Prefix Printf Process Rd_addr Rd_config Rd_policy Rd_topo Rd_util

@@ -1,0 +1,1 @@
+lib/routing/instance_graph.mli: Adjacency Ast Instance Ipv4 Prefix Process Rd_addr Rd_config Rd_policy

@@ -1,0 +1,1 @@
+lib/routing/pathway.ml: Array Buffer Hashtbl Instance Instance_graph Int List Printf Queue Rd_util String

@@ -1,0 +1,1 @@
+lib/routing/pathway.mli: Instance_graph Rd_policy

@@ -1,0 +1,1 @@
+lib/routing/process.ml: Array Ast Hashtbl Ipv4 List Prefix Printf Rd_addr Rd_config Rd_topo Wildcard

@@ -1,0 +1,1 @@
+lib/routing/process.mli: Ast Hashtbl Ipv4 Rd_addr Rd_config Rd_topo

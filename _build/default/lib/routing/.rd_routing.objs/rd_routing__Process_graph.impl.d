@@ -1,0 +1,1 @@
+lib/routing/process_graph.ml: Adjacency Array Ast Buffer List Printf Process Rd_addr Rd_config Rd_util

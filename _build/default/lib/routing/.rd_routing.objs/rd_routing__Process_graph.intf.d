@@ -1,0 +1,1 @@
+lib/routing/process_graph.mli: Adjacency Ast Process Rd_config

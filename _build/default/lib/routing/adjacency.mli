@@ -1,0 +1,41 @@
+(** Routing-process adjacencies (paper §2.2).
+
+    Two IGP processes are adjacent when they are of the same type, a link
+    joins their routers, and each covers its end of the link.  Two BGP
+    processes are adjacent when each is configured with a [neighbor]
+    statement pointing at the other and the peer address is resolvable.
+    BGP neighbors whose address is not inside the network are *external*
+    peerings — they become edges to the outside world. *)
+
+open Rd_addr
+
+type kind =
+  | Igp of Prefix.t  (** adjacency over the link with this subnet. *)
+  | Ibgp  (** BGP session, equal AS numbers. *)
+  | Ebgp  (** BGP session, different AS numbers. *)
+
+type t = { a : int; b : int; kind : kind }
+(** Process ids, [a < b]. *)
+
+type external_peering = {
+  proc : int;  (** local process pid. *)
+  local_asn : int option;
+  remote_asn : int;
+  peer_addr : Ipv4.t;
+}
+
+type result = {
+  adjacencies : t list;
+  external_peerings : external_peering list;
+      (** BGP sessions to routers outside the configuration set. *)
+  igp_external_edges : (int * Prefix.t) list;
+      (** IGP processes covering an external-facing interface: the process
+          speaks its protocol on an edge link (paper §5.2 — an IGP serving
+          as an EGP). *)
+}
+
+val compute : Process.catalog -> result
+
+val strict_ospf_area : bool ref
+(** When true (default), OSPF adjacency additionally requires both ends to
+    place the link in the same area. *)

@@ -1,0 +1,68 @@
+(** The routing instance graph (paper §3.2, Figures 6 and 9).
+
+    Vertices are routing instances plus pseudo-vertices for the external
+    ASs the network peers with.  Directed edges record every mechanism by
+    which routes flow from one instance to another: route redistribution
+    inside some router, EBGP sessions between internal ASs, EBGP sessions
+    to external peers, and IGP adjacency over external-facing links.  Each
+    edge carries the route filter implied by its policies
+    (distribute-lists and route-maps). *)
+
+open Rd_addr
+open Rd_config
+
+type endpoint =
+  | Inst of int  (** instance id. *)
+  | External of int  (** outside AS number. *)
+
+type via =
+  | Redist of { router : int; redist : Ast.redistribute }
+      (** redistribution configured on this router. *)
+  | Ebgp_session of { router : int; peer_addr : Ipv4.t }
+      (** EBGP route flow (internal-internal or to/from external). *)
+  | Igp_edge of { router : int; subnet : Prefix.t }
+      (** IGP adjacency over an external-facing link (IGP-as-EGP). *)
+
+type edge = {
+  src : endpoint;
+  dst : endpoint;
+  via : via;
+  filter : Rd_policy.Route_filter.t;
+      (** destinations whose routes may flow src -> dst here. *)
+}
+
+type t = {
+  catalog : Process.catalog;
+  assignment : Instance.assignment;
+  adjacency : Adjacency.result;
+  edges : edge list;
+  local_redists : (int * int * Ast.redistribute) list;
+      (** (instance, router, redistribute) for connected/static sources. *)
+}
+
+val build : Process.catalog -> t
+
+val instances : t -> Instance.t array
+
+val external_asns : t -> int list
+(** Distinct outside AS numbers peered with, ascending. *)
+
+val edges_between : t -> endpoint -> endpoint -> edge list
+
+val out_edges : t -> endpoint -> edge list
+val in_edges : t -> endpoint -> edge list
+
+val redistribution_routers : t -> src:int -> dst:int -> int list
+(** Routers that redistribute routes from instance [src] into instance
+    [dst] — the redundant "glue" routers of the paper's net5 analysis. *)
+
+val instance_of_router : t -> int -> int list
+(** Instances that have a process on the given router. *)
+
+val ibgp_mesh_completeness : t -> int -> float option
+(** For a BGP instance: the fraction of member-router pairs joined by an
+    IBGP session — 1.0 is a full mesh, route-reflector layouts sit well
+    below.  [None] for non-BGP or single-router instances.  One of the
+    §7.1 dimensions along which designs differ. *)
+
+val to_dot : t -> string

@@ -1,0 +1,1 @@
+lib/sim/failure.ml: Adjacency Array Hashtbl Instance_graph Int List Rd_routing Rd_util

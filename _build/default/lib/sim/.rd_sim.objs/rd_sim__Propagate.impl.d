@@ -1,0 +1,1 @@
+lib/sim/propagate.ml: Adjacency Array Ast Hashtbl Instance Int Ipv4 List Option Prefix Process Process_graph Rd_addr Rd_config Rd_policy Rd_routing Rd_topo Rib String

@@ -1,0 +1,1 @@
+lib/sim/propagate.mli: Ipv4 Prefix Rd_addr Rd_routing Rib

@@ -1,0 +1,1 @@
+lib/sim/rib.ml: Ast Ipv4 List Option Prefix Prefix_set Prefix_trie Rd_addr Rd_config

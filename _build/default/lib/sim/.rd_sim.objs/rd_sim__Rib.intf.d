@@ -1,0 +1,1 @@
+lib/sim/rib.mli: Ast Ipv4 Prefix Prefix_set Rd_addr Rd_config

@@ -1,0 +1,64 @@
+open Rd_routing
+
+type verdict = Cut of int * int list | Never | Already_partitioned
+
+(* Route-flow edges between routers: IGP/IBGP adjacency within instances
+   and internal EBGP sessions (redistribution happens inside one router and
+   needs no edge). *)
+let router_edges (g : Instance_graph.t) =
+  let seen = Hashtbl.create 256 in
+  let acc = ref [] in
+  List.iter
+    (fun (a : Adjacency.t) ->
+      let p = g.catalog.processes.(a.a) and q = g.catalog.processes.(a.b) in
+      let u = min p.router q.router and v = max p.router q.router in
+      if u <> v && not (Hashtbl.mem seen (u, v)) then begin
+        Hashtbl.replace seen (u, v) ();
+        acc := (u, v) :: !acc
+      end)
+    g.adjacency.adjacencies;
+  !acc
+
+let route_flows (g : Instance_graph.t) ~src ~dst =
+  (* Does dst's route set transitively depend on src in the instance graph? *)
+  let visited = Hashtbl.create 16 in
+  let rec walk v =
+    if Hashtbl.mem visited v then false
+    else begin
+      Hashtbl.replace visited v ();
+      v = Instance_graph.Inst src
+      || List.exists
+           (fun (e : Instance_graph.edge) -> walk e.src)
+           (Instance_graph.in_edges g v)
+    end
+  in
+  walk (Instance_graph.Inst dst)
+
+let min_router_failures (g : Instance_graph.t) ~src ~dst =
+  if not (route_flows g ~src ~dst) then Already_partitioned
+  else begin
+    let n = Array.length g.catalog.topo.routers in
+    let edges = router_edges g in
+    let sources = g.assignment.instances.(src).routers in
+    let sinks = g.assignment.instances.(dst).routers in
+    let value, cut = Rd_util.Maxflow.min_vertex_cut_set ~n ~edges ~sources ~sinks in
+    let smallest = min (List.length sources) (List.length sinks) in
+    if value >= smallest then Never else Cut (value, cut)
+  end
+
+let disconnection_scenarios (g : Instance_graph.t) =
+  let n = Array.length g.assignment.instances in
+  let acc = ref [] in
+  for src = 0 to n - 1 do
+    for dst = 0 to n - 1 do
+      if src <> dst && route_flows g ~src ~dst then
+        acc := (src, dst, min_router_failures g ~src ~dst) :: !acc
+    done
+  done;
+  List.rev !acc
+
+let single_points_of_failure (g : Instance_graph.t) =
+  List.sort_uniq Int.compare
+    (List.concat_map
+       (fun (_, _, v) -> match v with Cut (1, routers) -> routers | _ -> [])
+       (disconnection_scenarios g))

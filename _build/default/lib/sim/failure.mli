@@ -1,0 +1,30 @@
+(** Failure analysis over the routing design (paper §5.1 and §8.1).
+
+    Answers "how many routers need to fail before instance A is
+    partitioned from instance B?" — a minimum vertex cut in the
+    route-flow graph whose vertices are routers and whose edges are
+    routing adjacencies.  Routers running processes of both instances
+    (redistribution points) are the typical cut. *)
+
+type verdict =
+  | Cut of int * int list
+      (** minimum number of router failures, and one minimising set of
+          router indices. *)
+  | Never
+      (** no failure set short of removing an entire instance partitions
+          them (the instances share so much that they touch directly). *)
+  | Already_partitioned  (** no route flow exists even with all routers up. *)
+
+val min_router_failures :
+  Rd_routing.Instance_graph.t -> src:int -> dst:int -> verdict
+(** Minimum number of router failures that stop routes from flowing from
+    instance [src] to instance [dst]. *)
+
+val disconnection_scenarios :
+  Rd_routing.Instance_graph.t -> (int * int * verdict) list
+(** The verdict for every ordered pair of distinct instances that
+    currently exchange routes (directly or transitively). *)
+
+val single_points_of_failure : Rd_routing.Instance_graph.t -> int list
+(** Routers whose single failure partitions some instance pair — the
+    vulnerability-assessment primitive of §8.1. *)

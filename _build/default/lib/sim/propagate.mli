@@ -1,0 +1,41 @@
+(** Route-propagation simulator over the routing process graph.
+
+    Propagates concrete route records (with source protocol, tag, metric)
+    along adjacency, redistribution, and selection edges to fixpoint.
+    This answers the questions the paper says the process graph makes
+    answerable (§3.1): how many routes each routing process must handle,
+    and which destinations are reachable from a router under a given
+    configuration.
+
+    Cost is O(rounds x edges x routes); use it on networks up to a few
+    hundred routers (the instance-level {!Rd_reach.Reachability} scales
+    further by abstracting processes away). *)
+
+open Rd_addr
+
+type t = {
+  graph : Rd_routing.Process_graph.t;
+  proc_ribs : Rib.t array;  (** by pid. *)
+  local_ribs : Rib.t array;  (** by router. *)
+  router_ribs : Rib.t array;  (** by router. *)
+  iterations : int;
+}
+
+val run : ?external_prefixes:Prefix.t list -> Rd_routing.Process_graph.t -> t
+(** [external_prefixes] simulates the routes offered by external peers on
+    every external BGP peering and IGP edge link (default: a single
+    0.0.0.0/0). *)
+
+val rib_of_process : t -> int -> Rib.t
+val rib_of_router : t -> int -> Rib.t
+
+val process_loads : t -> (int * int) list
+(** (pid, RIB size) pairs, descending size — the per-process route load. *)
+
+val instance_load :
+  t -> Rd_routing.Instance.assignment -> int -> int * float
+(** [(max, mean)] process-RIB size over an instance's members — the §6.2
+    OSPF load prediction. *)
+
+val forwards_to : t -> router:int -> Ipv4.t -> Rib.route option
+(** The route the router RIB selects for a destination. *)

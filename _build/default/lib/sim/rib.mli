@@ -1,0 +1,76 @@
+(** Routes, routing information bases, and route selection (paper §2.3).
+
+    A route is a destination prefix plus attributes.  Each routing process
+    keeps its own RIB; the router RIB selects among candidate routes for
+    the same prefix by administrative distance, mirroring the two-stage
+    selection the paper describes. *)
+
+open Rd_addr
+open Rd_config
+
+type source =
+  | Connected
+  | Static
+  | Proto of Ast.protocol * [ `Internal | `External ]
+      (** EBGP vs IBGP and OSPF intra vs external differ in distance. *)
+
+type route = {
+  dest : Prefix.t;
+  source : source;
+  metric : int;
+  tag : int option;
+  next_hop : Ipv4.t option;
+  as_path : int list;
+      (** BGP AS path, most recent AS first; [\[\]] for IGP/local routes.
+          Used for EBGP loop prevention. *)
+  from_client : bool;
+      (** learned over an IBGP session from a route-reflector client —
+          such routes may be reflected onward (RFC 4456 semantics). *)
+  via_ibgp : bool;
+      (** learned over an IBGP session: not re-advertised to further IBGP
+          peers except by route reflection — the non-transitivity that
+          forces backbones into meshes or reflectors (paper §3.1/§6.1). *)
+  ad_override : int option;
+      (** administrative-distance override, e.g. a floating static route
+          ([ip route ... 250]). *)
+}
+
+val mk :
+  ?metric:int ->
+  ?tag:int option ->
+  ?next_hop:Ipv4.t option ->
+  ?as_path:int list ->
+  ?from_client:bool ->
+  ?via_ibgp:bool ->
+  ?ad_override:int ->
+  Prefix.t ->
+  source ->
+  route
+(** Convenience constructor with neutral defaults. *)
+
+val admin_distance : source -> int
+(** Cisco defaults: connected 0, static 1, EBGP 20, EIGRP 90, IGRP 100,
+    OSPF 110, IS-IS 115, RIP 120, EIGRP external 170, IBGP 200. *)
+
+val effective_distance : route -> int
+(** [ad_override] when present, else the source's default distance. *)
+
+type t
+(** A RIB: maps prefixes to the best route known per source. *)
+
+val empty : t
+val add : t -> route -> t
+(** Keep the route if no better route for the same prefix is present.
+    Preference: lower administrative distance, then (among BGP routes)
+    shorter AS path, then lower metric. *)
+
+val lookup : t -> Ipv4.t -> route option
+(** Longest-prefix match, then best route. *)
+
+val find : t -> Prefix.t -> route option
+val routes : t -> route list
+val size : t -> int
+val prefixes : t -> Prefix_set.t
+
+val merge : t -> t -> t
+(** Union keeping best routes. *)

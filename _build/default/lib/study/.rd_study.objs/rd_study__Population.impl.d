@@ -1,0 +1,1 @@
+lib/study/population.ml: Archetype Builder List Printf Rd_core Rd_gen Rd_util

@@ -1,0 +1,1 @@
+lib/study/population.mli: Rd_core Rd_gen

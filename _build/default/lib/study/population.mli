@@ -1,0 +1,41 @@
+(** The 31-network study population (paper §4).
+
+    The population mirrors every marginal the paper reports: 4 textbook
+    backbones of 450-600 routers (mean 540), 7 textbook enterprises of
+    19-101 routers, and 20 other networks of 4-1750 routers (median 36,
+    four of them larger than the largest backbone: 760, 881, 1430, 1750);
+    net5 is the 881-router compartmentalized network, net15 the 79-router
+    restricted-reachability network; three networks use no BGP and three
+    define no packet filters.  Router total: 8,035 — the paper's
+    configuration-file count. *)
+
+type spec = {
+  net_id : int;  (** 1-based network number (net5, net15, ...). *)
+  label : string;
+  arch : Rd_gen.Archetype.t;
+  n : int;  (** router count. *)
+  use_bgp : bool;
+  use_filters : bool;
+  seed : int;
+}
+
+val specs : master_seed:int -> spec list
+(** The 31 specifications in net-id order. *)
+
+val generate_one : spec -> (string * string) list
+(** Configuration files for one network. *)
+
+type network = { spec : spec; analysis : Rd_core.Analysis.t }
+
+val build_network : spec -> network
+(** Generate, render to text, re-parse, analyze. *)
+
+val build : ?only:int list -> master_seed:int -> unit -> network list
+(** Build the population (or the networks whose ids are in [only]).
+    Each network flows through the full text pipeline. *)
+
+val repository_sizes : master_seed:int -> count:int -> int list
+(** Synthetic sizes for the 2,400-network repository of Figure 8 (heavy-
+    tailed, dominated by small networks). *)
+
+val total_routers : master_seed:int -> int

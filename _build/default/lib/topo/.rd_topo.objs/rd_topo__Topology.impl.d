@@ -1,0 +1,1 @@
+lib/topo/topology.ml: Array Hashtbl Int Ipv4 Itype List Prefix Prefix_set Rd_addr Rd_config

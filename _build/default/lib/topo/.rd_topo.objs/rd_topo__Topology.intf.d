@@ -1,0 +1,1 @@
+lib/topo/topology.mli: Hashtbl Ipv4 Itype Prefix Prefix_set Rd_addr Rd_config

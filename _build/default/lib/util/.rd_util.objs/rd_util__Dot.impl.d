@@ -1,0 +1,1 @@
+lib/util/dot.ml: Buffer Hashtbl List Option Printf String

@@ -1,0 +1,28 @@
+(** Empirical cumulative distribution functions and ASCII plots.
+
+    Figures 4, 8 and 11 of the paper are distribution plots; the benchmark
+    harness renders them as ASCII so the series can be compared by eye and
+    by machine. *)
+
+type t
+(** An empirical CDF over float samples. *)
+
+val of_samples : float list -> t
+(** Build from raw samples.  The empty sample list yields an empty CDF. *)
+
+val eval : t -> float -> float
+(** [eval t x] = fraction of samples [<= x], in [\[0,1\]]; 0 for an empty
+    CDF. *)
+
+val points : t -> (float * float) list
+(** Sorted (value, cumulative fraction) step points. *)
+
+val size : t -> int
+
+val plot : ?width:int -> ?height:int -> ?x_label:string -> t -> string
+(** ASCII art rendering of the CDF curve. *)
+
+val plot_series :
+  ?width:int -> ?height:int -> (string * float list) list -> string
+(** Render several named series' CDFs on one set of axes, one mark per
+    series. *)

@@ -1,0 +1,20 @@
+(** Graphviz DOT emission.
+
+    The paper's figures 5, 6, 9, 10 and 12 are graphs; the CLI can export
+    every derived graph as DOT for rendering. *)
+
+type t
+
+val create : ?directed:bool -> string -> t
+(** [create name] starts an empty graph.  Default directed. *)
+
+val node : t -> ?label:string -> ?shape:string -> ?style:string -> string -> unit
+(** Declare a node by id with optional attributes.  Redeclaring an id
+    overwrites its attributes. *)
+
+val edge : t -> ?label:string -> ?style:string -> string -> string -> unit
+
+val subgraph : t -> label:string -> string -> string list -> unit
+(** [subgraph g ~label id nodes] clusters existing node ids. *)
+
+val to_string : t -> string

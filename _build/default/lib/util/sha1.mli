@@ -1,0 +1,23 @@
+(** Pure-OCaml SHA-1 (RFC 3174).
+
+    The paper anonymizes configuration tokens with SHA-1 digests (§4.1);
+    this module provides the digest plus helpers used by the anonymizer.
+    SHA-1 is used here only as a deterministic mixing function, never for
+    security. *)
+
+type digest = string
+(** 20-byte raw digest. *)
+
+val digest_string : string -> digest
+(** [digest_string s] is the 20-byte SHA-1 digest of [s]. *)
+
+val to_hex : digest -> string
+(** Lowercase 40-character hexadecimal rendering. *)
+
+val hex_of_string : string -> string
+(** [hex_of_string s] = [to_hex (digest_string s)]. *)
+
+val prf : key:string -> string -> int64
+(** [prf ~key data] is a 64-bit pseudo-random value derived from the digest
+    of [key ^ "\x00" ^ data].  Used as the keyed bit source for
+    prefix-preserving IP anonymization. *)

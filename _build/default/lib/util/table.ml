@@ -1,0 +1,37 @@
+type align = Left | Right
+
+let render ?(headers = []) ?(aligns = []) rows =
+  let all = if headers = [] then rows else headers :: rows in
+  if all = [] then ""
+  else begin
+    let ncols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+    let width = Array.make ncols 0 in
+    let pad r = r @ List.init (ncols - List.length r) (fun _ -> "") in
+    let all = List.map pad all in
+    List.iter
+      (List.iteri (fun i cell -> width.(i) <- max width.(i) (String.length cell)))
+      all;
+    let align_of i = try List.nth aligns i with _ -> Left in
+    let fmt_cell i cell =
+      let pad = String.make (width.(i) - String.length cell) ' ' in
+      match align_of i with Left -> cell ^ pad | Right -> pad ^ cell
+    in
+    let fmt_row r = String.concat "  " (List.mapi fmt_cell r) in
+    let buf = Buffer.create 256 in
+    let body = if headers = [] then all else List.tl all in
+    if headers <> [] then begin
+      Buffer.add_string buf (fmt_row (pad headers));
+      Buffer.add_char buf '\n';
+      let total = Array.fold_left ( + ) 0 width + (2 * (ncols - 1)) in
+      Buffer.add_string buf (String.make total '-');
+      Buffer.add_char buf '\n'
+    end;
+    List.iter
+      (fun r ->
+        Buffer.add_string buf (fmt_row r);
+        Buffer.add_char buf '\n')
+      body;
+    Buffer.contents buf
+  end
+
+let print ?headers ?aligns rows = print_string (render ?headers ?aligns rows)

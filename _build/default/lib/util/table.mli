@@ -1,0 +1,14 @@
+(** Plain-text table rendering for experiment output.
+
+    Every benchmark prints its table/figure in the same row/column layout as
+    the paper; this module does the alignment. *)
+
+type align = Left | Right
+
+val render : ?headers:string list -> ?aligns:align list -> string list list -> string
+(** [render ~headers rows] lays the rows out in aligned columns with a rule
+    under the header.  Default alignment is [Left]; [aligns] may be shorter
+    than the column count (remaining columns default to [Left]). *)
+
+val print : ?headers:string list -> ?aligns:align list -> string list list -> unit
+(** [render] followed by [print_string]. *)

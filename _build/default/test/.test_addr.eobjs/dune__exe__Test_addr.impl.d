@@ -1,0 +1,1 @@
+test/test_addr.ml: Alcotest Format Int32 Ipv4 List Prefix Prefix_set Prefix_trie QCheck QCheck_alcotest Rd_addr Wildcard

@@ -1,0 +1,1 @@
+test/test_addrspace.ml: Alcotest Ipv4 List Prefix Printf Rd_addr Rd_addrspace Rd_config Rd_topo String

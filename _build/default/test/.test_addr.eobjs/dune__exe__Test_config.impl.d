@@ -1,0 +1,1 @@
+test/test_config.ml: Alcotest Anonymizer Ast Gen Ipv4 Lexer List Option Parser Prefix Printer Printf QCheck QCheck_alcotest Rd_addr Rd_config Rd_gen String Wildcard

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array List Printf Rd_config Rd_core Rd_gen Rd_routing Rd_topo String

@@ -1,0 +1,1 @@
+test/test_gen.ml: Alcotest Array Ast List Printf Rd_addr Rd_config Rd_core Rd_gen Rd_routing

@@ -1,0 +1,1 @@
+test/test_ops.ml: Alcotest List Printf Rd_addr Rd_config Rd_core Rd_gen String

@@ -1,0 +1,1 @@
+test/test_policy.ml: Alcotest Ast Ipv4 List Prefix Prefix_set Rd_addr Rd_config Rd_policy Rd_topo Wildcard

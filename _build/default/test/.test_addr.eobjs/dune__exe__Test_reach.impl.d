@@ -1,0 +1,1 @@
+test/test_reach.ml: Alcotest Array Ipv4 List Prefix Prefix_set Printf QCheck QCheck_alcotest Rd_addr Rd_config Rd_core Rd_gen Rd_reach Rd_routing Rd_topo

@@ -1,0 +1,1 @@
+test/test_routing.ml: Alcotest Array Ast Ipv4 List Printf QCheck QCheck_alcotest Rd_addr Rd_config Rd_gen Rd_routing Rd_topo String

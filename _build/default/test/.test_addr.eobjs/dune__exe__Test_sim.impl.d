@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Ast Ipv4 List Option Prefix Prefix_set Printf Rd_addr Rd_config Rd_core Rd_gen Rd_routing Rd_sim Rd_topo

@@ -1,0 +1,1 @@
+test/test_study.ml: Alcotest Hashtbl List Rd_core Rd_gen Rd_policy Rd_study Rd_topo String

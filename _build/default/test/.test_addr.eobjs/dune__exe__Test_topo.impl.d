@@ -1,0 +1,1 @@
+test/test_topo.ml: Alcotest Ipv4 List Prefix Prefix_set Printf Rd_addr Rd_config Rd_topo

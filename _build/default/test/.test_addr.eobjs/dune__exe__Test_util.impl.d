@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Cdf Dot Hashtbl List Maxflow Printf Prng QCheck QCheck_alcotest Rd_util Sha1 Stat String Table Union_find

@@ -1,0 +1,359 @@
+(* Tests for rd_addr: addresses, prefixes, wildcards, prefix sets, tries. *)
+
+open Rd_addr
+
+let ip = Ipv4.of_string_exn
+let pfx = Prefix.of_string_exn
+
+let check_string = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------- Ipv4 --- *)
+
+let test_ipv4_roundtrip () =
+  List.iter
+    (fun s -> check_string s s (Ipv4.to_string (ip s)))
+    [ "0.0.0.0"; "255.255.255.255"; "10.0.0.1"; "192.168.255.254"; "1.2.3.4" ]
+
+let test_ipv4_reject () =
+  List.iter
+    (fun s -> check_bool s true (Ipv4.of_string s = None))
+    [
+      ""; "1.2.3"; "1.2.3.4.5"; "256.1.1.1"; "1.2.3.256"; "a.b.c.d"; "1..2.3"; "1.2.3.4 ";
+      " 1.2.3.4"; "01234.1.1.1"; "1.2.3.-4"; "1.2.3.4/24";
+    ]
+
+let test_ipv4_octets () =
+  let a = Ipv4.of_octets 192 168 1 77 in
+  check_string "octets" "192.168.1.77" (Ipv4.to_string a);
+  let w, x, y, z = Ipv4.octets a in
+  check_int "o1" 192 w;
+  check_int "o2" 168 x;
+  check_int "o3" 1 y;
+  check_int "o4" 77 z
+
+let test_ipv4_order () =
+  check_bool "lt" true (Ipv4.compare (ip "1.0.0.0") (ip "2.0.0.0") < 0);
+  check_bool "eq" true (Ipv4.equal (ip "9.9.9.9") (ip "9.9.9.9"));
+  check_bool "succ" true (Ipv4.equal (Ipv4.succ (ip "1.2.3.255")) (ip "1.2.4.0"));
+  check_bool "wrap" true (Ipv4.equal (Ipv4.succ Ipv4.broadcast_all) Ipv4.zero)
+
+let test_ipv4_private () =
+  check_bool "10/8" true (Ipv4.is_private (ip "10.200.3.4"));
+  check_bool "172.16" true (Ipv4.is_private (ip "172.16.0.1"));
+  check_bool "172.31" true (Ipv4.is_private (ip "172.31.255.255"));
+  check_bool "172.32" false (Ipv4.is_private (ip "172.32.0.0"));
+  check_bool "192.168" true (Ipv4.is_private (ip "192.168.4.4"));
+  check_bool "public" false (Ipv4.is_private (ip "8.8.8.8"))
+
+(* ----------------------------------------------------------- Prefix --- *)
+
+let test_prefix_parse () =
+  check_string "p24" "10.1.2.0/24" (Prefix.to_string (pfx "10.1.2.99/24"));
+  check_string "p0" "0.0.0.0/0" (Prefix.to_string (pfx "255.1.2.3/0"));
+  check_string "bare" "10.0.0.1/32" (Prefix.to_string (pfx "10.0.0.1"));
+  check_bool "badlen" true (Prefix.of_string "10.0.0.0/33" = None);
+  check_bool "neglen" true (Prefix.of_string "10.0.0.0/-1" = None)
+
+let test_prefix_masks () =
+  check_string "netmask30" "255.255.255.252" (Ipv4.to_string (Prefix.netmask (pfx "10.0.0.0/30")));
+  check_string "hostmask30" "0.0.0.3" (Ipv4.to_string (Prefix.hostmask (pfx "10.0.0.0/30")));
+  check_string "netmask0" "0.0.0.0" (Ipv4.to_string (Prefix.netmask Prefix.default));
+  check_string "broadcast" "10.0.0.255" (Ipv4.to_string (Prefix.broadcast (pfx "10.0.0.0/24")))
+
+let test_prefix_of_addr_mask () =
+  let ok a m expect =
+    match Prefix.of_addr_mask (ip a) (ip m) with
+    | Some p -> check_string (a ^ " " ^ m) expect (Prefix.to_string p)
+    | None -> Alcotest.failf "expected %s for %s %s" expect a m
+  in
+  ok "10.1.2.3" "255.255.255.0" "10.1.2.0/24";
+  ok "10.1.2.3" "255.255.255.255" "10.1.2.3/32";
+  ok "10.1.2.3" "0.0.0.0" "0.0.0.0/0";
+  ok "66.253.32.85" "255.255.255.252" "66.253.32.84/30";
+  check_bool "noncontiguous" true (Prefix.of_addr_mask (ip "10.0.0.0") (ip "255.0.255.0") = None);
+  check_bool "holes" true (Prefix.of_addr_mask (ip "10.0.0.0") (ip "255.255.255.253") = None)
+
+let test_prefix_relations () =
+  check_bool "mem" true (Prefix.mem (ip "10.1.2.3") (pfx "10.1.0.0/16"));
+  check_bool "not-mem" false (Prefix.mem (ip "10.2.0.0") (pfx "10.1.0.0/16"));
+  check_bool "subset" true (Prefix.subset (pfx "10.1.2.0/24") (pfx "10.1.0.0/16"));
+  check_bool "not-subset" false (Prefix.subset (pfx "10.1.0.0/16") (pfx "10.1.2.0/24"));
+  check_bool "overlap" true (Prefix.overlap (pfx "10.1.0.0/16") (pfx "10.1.2.0/24"));
+  check_bool "disjoint" false (Prefix.overlap (pfx "10.1.0.0/16") (pfx "10.2.0.0/16"))
+
+let test_prefix_structure () =
+  (match Prefix.split (pfx "10.0.0.0/24") with
+   | Some (l, r) ->
+     check_string "left" "10.0.0.0/25" (Prefix.to_string l);
+     check_string "right" "10.0.0.128/25" (Prefix.to_string r)
+   | None -> Alcotest.fail "split failed");
+  check_bool "split32" true (Prefix.split (pfx "1.1.1.1/32") = None);
+  (match Prefix.sibling (pfx "10.0.0.128/25") with
+   | Some s -> check_string "sibling" "10.0.0.0/25" (Prefix.to_string s)
+   | None -> Alcotest.fail "sibling failed");
+  check_bool "sibling0" true (Prefix.sibling Prefix.default = None);
+  (match Prefix.parent (pfx "10.0.1.0/24") with
+   | Some p -> check_string "parent" "10.0.0.0/23" (Prefix.to_string p)
+   | None -> Alcotest.fail "parent failed")
+
+let test_prefix_nth () =
+  check_string "nth" "10.0.0.5" (Ipv4.to_string (Prefix.nth (pfx "10.0.0.0/24") 5));
+  check_string "nth_subnet" "10.0.3.0/24"
+    (Prefix.to_string (Prefix.nth_subnet (pfx "10.0.0.0/16") 24 3));
+  check_int "size30" 4 (Prefix.size (pfx "1.0.0.0/30"));
+  check_int "usable30" 2 (Prefix.usable_hosts (pfx "1.0.0.0/30"));
+  check_int "usable32" 1 (Prefix.usable_hosts (pfx "1.0.0.0/32"));
+  check_int "usable31" 2 (Prefix.usable_hosts (pfx "1.0.0.0/31"))
+
+(* --------------------------------------------------------- Wildcard --- *)
+
+let test_wildcard_match () =
+  let w = Wildcard.make (ip "66.251.75.128") (ip "0.0.0.127") in
+  check_bool "inside" true (Wildcard.matches w (ip "66.251.75.144"));
+  check_bool "outside" false (Wildcard.matches w (ip "66.251.76.1"));
+  check_bool "any" true (Wildcard.matches Wildcard.any (ip "1.2.3.4"));
+  check_bool "host-hit" true (Wildcard.matches (Wildcard.host (ip "5.5.5.5")) (ip "5.5.5.5"));
+  check_bool "host-miss" false (Wildcard.matches (Wildcard.host (ip "5.5.5.5")) (ip "5.5.5.6"))
+
+let test_wildcard_noncontiguous () =
+  (* wildcard 0.0.255.0: third octet free, fourth fixed *)
+  let w = Wildcard.make (ip "10.1.0.7") (ip "0.0.255.0") in
+  check_bool "match1" true (Wildcard.matches w (ip "10.1.77.7"));
+  check_bool "match2" false (Wildcard.matches w (ip "10.1.77.8"));
+  check_bool "contig" false (Wildcard.is_contiguous w);
+  check_bool "to_prefix" true (Wildcard.to_prefix w = None)
+
+let test_wildcard_prefix_bridge () =
+  let p = pfx "192.168.4.0/22" in
+  let w = Wildcard.of_prefix p in
+  check_string "of_prefix" "192.168.4.0 0.0.3.255" (Wildcard.to_string w);
+  (match Wildcard.to_prefix w with
+   | Some p' -> check_string "back" (Prefix.to_string p) (Prefix.to_string p')
+   | None -> Alcotest.fail "to_prefix");
+  check_bool "covers" true (Wildcard.matches_prefix w p);
+  check_bool "covers-sub" true (Wildcard.matches_prefix w (pfx "192.168.5.0/24"));
+  check_bool "not-covers-super" false (Wildcard.matches_prefix w (pfx "192.168.0.0/16"))
+
+(* ------------------------------------------------------- Prefix_set --- *)
+
+let set l = Prefix_set.of_prefixes (List.map pfx l)
+
+let test_set_basics () =
+  check_bool "empty" true (Prefix_set.is_empty Prefix_set.empty);
+  check_bool "full" true (Prefix_set.is_full Prefix_set.full);
+  check_bool "mem" true (Prefix_set.mem (ip "10.1.2.3") (set [ "10.0.0.0/8" ]));
+  check_bool "not-mem" false (Prefix_set.mem (ip "11.0.0.0") (set [ "10.0.0.0/8" ]));
+  check_int "count" 256 (Prefix_set.count_addresses (set [ "10.0.0.0/24" ]));
+  check_int "count2" 512 (Prefix_set.count_addresses (set [ "10.0.0.0/24"; "10.0.9.0/24" ]))
+
+let test_set_canonical_merge () =
+  (* two siblings collapse into the parent *)
+  let s = set [ "10.0.0.0/25"; "10.0.0.128/25" ] in
+  check_bool "equal-to-parent" true (Prefix_set.equal s (set [ "10.0.0.0/24" ]));
+  match Prefix_set.to_prefixes s with
+  | [ p ] -> check_string "merged" "10.0.0.0/24" (Prefix.to_string p)
+  | l -> Alcotest.failf "expected 1 prefix, got %d" (List.length l)
+
+let test_set_algebra () =
+  let a = set [ "10.0.0.0/8" ] and b = set [ "10.1.0.0/16"; "11.0.0.0/8" ] in
+  check_bool "inter" true (Prefix_set.equal (Prefix_set.inter a b) (set [ "10.1.0.0/16" ]));
+  check_bool "union-mem" true (Prefix_set.mem (ip "11.5.5.5") (Prefix_set.union a b));
+  check_bool "diff" false (Prefix_set.mem (ip "10.1.2.3") (Prefix_set.diff a b));
+  check_bool "diff-keeps" true (Prefix_set.mem (ip "10.2.0.0") (Prefix_set.diff a b));
+  check_bool "compl" true (Prefix_set.mem (ip "12.0.0.0") (Prefix_set.complement a));
+  check_bool "compl-not" false (Prefix_set.mem (ip "10.0.0.1") (Prefix_set.complement a));
+  check_bool "subset" true (Prefix_set.subset (set [ "10.1.2.0/24" ]) a);
+  check_bool "not-subset" false (Prefix_set.subset b a);
+  check_bool "overlaps" true (Prefix_set.overlaps a b);
+  check_bool "disjoint" false (Prefix_set.overlaps (set [ "12.0.0.0/8" ]) a)
+
+let test_set_net15_property () =
+  (* the paper's key check: policy intersections are empty *)
+  let a2 = set [ "10.16.0.0/14" ] in
+  let a5 = set [ "198.18.0.0/16"; "198.19.0.0/16" ] in
+  check_bool "A2&A5 empty" true (Prefix_set.is_empty (Prefix_set.inter a2 a5))
+
+let test_set_to_prefixes_minimal () =
+  let s = set [ "10.0.0.0/24"; "10.0.1.0/24"; "10.0.2.0/24" ] in
+  (* 10.0.0.0/23 + 10.0.2.0/24 *)
+  let ps = List.map Prefix.to_string (Prefix_set.to_prefixes s) in
+  Alcotest.(check (list string)) "minimal" [ "10.0.0.0/23"; "10.0.2.0/24" ] ps
+
+(* qcheck properties *)
+
+let arb_prefix =
+  QCheck.make
+    ~print:(fun p -> Prefix.to_string p)
+    QCheck.Gen.(
+      let* len = int_bound 32 in
+      let* a = map Int32.to_int int32 in
+      return (Prefix.make (Ipv4.of_int (a land 0xFFFFFFFF)) len))
+
+let arb_set =
+  QCheck.make
+    ~print:(fun s -> Format.asprintf "%a" Prefix_set.pp s)
+    QCheck.Gen.(
+      let* prefixes = list_size (int_bound 8) (QCheck.gen arb_prefix) in
+      return (Prefix_set.of_prefixes prefixes))
+
+let prop_union_commutative =
+  QCheck.Test.make ~name:"prefix_set union commutative" ~count:200
+    (QCheck.pair arb_set arb_set)
+    (fun (a, b) -> Prefix_set.equal (Prefix_set.union a b) (Prefix_set.union b a))
+
+let prop_inter_idempotent =
+  QCheck.Test.make ~name:"prefix_set inter idempotent" ~count:200 arb_set (fun a ->
+      Prefix_set.equal (Prefix_set.inter a a) a)
+
+let prop_de_morgan =
+  QCheck.Test.make ~name:"prefix_set De Morgan" ~count:200
+    (QCheck.pair arb_set arb_set)
+    (fun (a, b) ->
+      Prefix_set.equal
+        (Prefix_set.complement (Prefix_set.union a b))
+        (Prefix_set.inter (Prefix_set.complement a) (Prefix_set.complement b)))
+
+let prop_diff_disjoint =
+  QCheck.Test.make ~name:"prefix_set diff disjoint from subtrahend" ~count:200
+    (QCheck.pair arb_set arb_set)
+    (fun (a, b) -> not (Prefix_set.overlaps (Prefix_set.diff a b) b))
+
+let prop_to_prefixes_faithful =
+  QCheck.Test.make ~name:"prefix_set to_prefixes faithful" ~count:200 arb_set (fun a ->
+      Prefix_set.equal a (Prefix_set.of_prefixes (Prefix_set.to_prefixes a)))
+
+let prop_count_matches_prefixes =
+  QCheck.Test.make ~name:"prefix_set count = sum of prefix sizes" ~count:200 arb_set (fun a ->
+      Prefix_set.count_addresses a
+      = List.fold_left (fun acc p -> acc + Prefix.size p) 0 (Prefix_set.to_prefixes a))
+
+let prop_mem_union =
+  QCheck.Test.make ~name:"mem union = mem or mem" ~count:200
+    (QCheck.triple arb_set arb_set arb_prefix)
+    (fun (a, b, p) ->
+      let x = Prefix.addr p in
+      Prefix_set.mem x (Prefix_set.union a b) = (Prefix_set.mem x a || Prefix_set.mem x b))
+
+(* ------------------------------------------------------ Prefix_trie --- *)
+
+let test_trie_basics () =
+  let t =
+    Prefix_trie.empty
+    |> Prefix_trie.add (pfx "10.0.0.0/8") "eight"
+    |> Prefix_trie.add (pfx "10.1.0.0/16") "sixteen"
+    |> Prefix_trie.add (pfx "10.1.2.0/24") "twentyfour"
+  in
+  check_int "cardinal" 3 (Prefix_trie.cardinal t);
+  check_bool "find" true (Prefix_trie.find (pfx "10.1.0.0/16") t = Some "sixteen");
+  check_bool "find-miss" true (Prefix_trie.find (pfx "10.2.0.0/16") t = None);
+  (match Prefix_trie.longest_match (ip "10.1.2.3") t with
+   | Some (p, v) ->
+     check_string "lpm-prefix" "10.1.2.0/24" (Prefix.to_string p);
+     check_string "lpm-value" "twentyfour" v
+   | None -> Alcotest.fail "lpm");
+  (match Prefix_trie.longest_match (ip "10.9.9.9") t with
+   | Some (p, _) -> check_string "lpm-short" "10.0.0.0/8" (Prefix.to_string p)
+   | None -> Alcotest.fail "lpm2");
+  check_bool "lpm-none" true (Prefix_trie.longest_match (ip "11.0.0.0") t = None);
+  check_int "matches" 3 (List.length (Prefix_trie.matches (ip "10.1.2.3") t))
+
+let test_trie_remove_update () =
+  let t = Prefix_trie.add (pfx "10.0.0.0/8") 1 Prefix_trie.empty in
+  let t = Prefix_trie.add (pfx "10.0.0.0/8") 2 t in
+  check_bool "replace" true (Prefix_trie.find (pfx "10.0.0.0/8") t = Some 2);
+  let t = Prefix_trie.remove (pfx "10.0.0.0/8") t in
+  check_bool "removed" true (Prefix_trie.is_empty t);
+  let t = Prefix_trie.update (pfx "1.0.0.0/8") (fun _ -> Some 7) Prefix_trie.empty in
+  check_bool "update-add" true (Prefix_trie.find (pfx "1.0.0.0/8") t = Some 7);
+  let t = Prefix_trie.update (pfx "1.0.0.0/8") (fun _ -> None) t in
+  check_bool "update-del" true (Prefix_trie.is_empty t)
+
+let test_trie_covering_covered () =
+  let t =
+    Prefix_trie.empty
+    |> Prefix_trie.add (pfx "10.0.0.0/8") "a"
+    |> Prefix_trie.add (pfx "10.1.0.0/16") "b"
+    |> Prefix_trie.add (pfx "10.1.2.0/24") "c"
+    |> Prefix_trie.add (pfx "11.0.0.0/8") "d"
+  in
+  (match Prefix_trie.covering (pfx "10.1.2.0/26") t with
+   | Some (p, _) -> check_string "covering" "10.1.2.0/24" (Prefix.to_string p)
+   | None -> Alcotest.fail "covering");
+  (match Prefix_trie.covering (pfx "10.200.0.0/16") t with
+   | Some (p, _) -> check_string "covering-loose" "10.0.0.0/8" (Prefix.to_string p)
+   | None -> Alcotest.fail "covering2");
+  check_int "covered_by" 2 (List.length (Prefix_trie.covered_by (pfx "10.1.0.0/16") t));
+  check_int "bindings" 4 (List.length (Prefix_trie.bindings t))
+
+(* trie vs reference model *)
+let prop_trie_model =
+  QCheck.Test.make ~name:"prefix_trie behaves like assoc model" ~count:100
+    (QCheck.list_of_size (QCheck.Gen.int_bound 20) (QCheck.pair arb_prefix QCheck.small_int))
+    (fun bindings ->
+      let trie =
+        List.fold_left (fun t (p, v) -> Prefix_trie.add p v t) Prefix_trie.empty bindings
+      in
+      (* the model keeps the LAST binding per prefix *)
+      let model =
+        List.fold_left
+          (fun acc (p, v) -> (p, v) :: List.remove_assoc p acc)
+          []
+          (List.map (fun (p, v) -> (p, v)) bindings)
+      in
+      List.for_all (fun (p, v) -> Prefix_trie.find p trie = Some v) model
+      && Prefix_trie.cardinal trie = List.length model)
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "rd_addr"
+    [
+      ( "ipv4",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_ipv4_roundtrip;
+          Alcotest.test_case "reject malformed" `Quick test_ipv4_reject;
+          Alcotest.test_case "octets" `Quick test_ipv4_octets;
+          Alcotest.test_case "ordering and succ" `Quick test_ipv4_order;
+          Alcotest.test_case "rfc1918" `Quick test_ipv4_private;
+        ] );
+      ( "prefix",
+        [
+          Alcotest.test_case "parse" `Quick test_prefix_parse;
+          Alcotest.test_case "masks" `Quick test_prefix_masks;
+          Alcotest.test_case "of_addr_mask" `Quick test_prefix_of_addr_mask;
+          Alcotest.test_case "relations" `Quick test_prefix_relations;
+          Alcotest.test_case "split/parent/sibling" `Quick test_prefix_structure;
+          Alcotest.test_case "nth and sizes" `Quick test_prefix_nth;
+        ] );
+      ( "wildcard",
+        [
+          Alcotest.test_case "matching" `Quick test_wildcard_match;
+          Alcotest.test_case "non-contiguous" `Quick test_wildcard_noncontiguous;
+          Alcotest.test_case "prefix bridge" `Quick test_wildcard_prefix_bridge;
+        ] );
+      ( "prefix_set",
+        [
+          Alcotest.test_case "basics" `Quick test_set_basics;
+          Alcotest.test_case "canonical merge" `Quick test_set_canonical_merge;
+          Alcotest.test_case "algebra" `Quick test_set_algebra;
+          Alcotest.test_case "net15 intersection" `Quick test_set_net15_property;
+          Alcotest.test_case "minimal decomposition" `Quick test_set_to_prefixes_minimal;
+        ] );
+      ( "prefix_set properties",
+        qc
+          [
+            prop_union_commutative;
+            prop_inter_idempotent;
+            prop_de_morgan;
+            prop_diff_disjoint;
+            prop_to_prefixes_faithful;
+            prop_count_matches_prefixes;
+            prop_mem_union;
+          ] );
+      ( "prefix_trie",
+        Alcotest.test_case "basics" `Quick test_trie_basics
+        :: Alcotest.test_case "remove/update" `Quick test_trie_remove_update
+        :: Alcotest.test_case "covering/covered_by" `Quick test_trie_covering_covered
+        :: qc [ prop_trie_model ] );
+    ]

@@ -1,0 +1,190 @@
+(* Tests for rd_core: the analysis pipeline, role classification,
+   design classification. *)
+
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let figure1_files =
+  [
+    ( "R1",
+      {|interface Ethernet0
+ ip address 66.251.75.2 255.255.255.128
+!
+interface Serial0/0
+ ip address 66.253.32.86 255.255.255.252
+!
+router ospf 7
+ network 66.251.75.0 0.0.0.127 area 0
+ network 66.253.32.84 0.0.0.3 area 0
+|} );
+    ( "R2",
+      {|interface Serial0/0
+ ip address 66.253.32.85 255.255.255.252
+!
+interface Serial0/1
+ ip address 66.253.160.67 255.255.255.252
+!
+router ospf 64
+ network 66.253.32.84 0.0.0.3 area 0
+ redistribute bgp 64780 subnets
+!
+router bgp 64780
+ neighbor 66.253.160.68 remote-as 12762
+ redistribute ospf 64
+|} );
+  ]
+
+let test_analyze_from_text () =
+  let a = Rd_core.Analysis.analyze ~name:"fig1" figure1_files in
+  check_int "routers" 2 (Rd_core.Analysis.router_count a);
+  check_int "instances" 2 (Rd_core.Analysis.instance_count a);
+  check_bool "summary renders" true (String.length (Rd_core.Analysis.summary a) > 0);
+  check_int "config sizes" 2 (List.length (Rd_core.Analysis.config_sizes a));
+  Alcotest.(check (list int)) "external asns" [ 12762 ] (Rd_core.Analysis.external_asns a);
+  Alcotest.(check (list int)) "internal asns" [ 64780 ] (Rd_core.Analysis.internal_bgp_asns a)
+
+let test_analyze_asts_equivalent () =
+  let a1 = Rd_core.Analysis.analyze ~name:"x" figure1_files in
+  let asts = List.map (fun (n, t) -> (n, Rd_config.Parser.parse t)) figure1_files in
+  let a2 = Rd_core.Analysis.analyze_asts ~name:"x" asts in
+  check_int "same instances"
+    (Rd_core.Analysis.instance_count a1)
+    (Rd_core.Analysis.instance_count a2)
+
+(* ---------------------------------------------------------------- roles --- *)
+
+let test_roles_conventional () =
+  let a = Rd_core.Analysis.analyze ~name:"fig1" figure1_files in
+  let c = Rd_core.Roles.count a in
+  (* the OSPF instance covers only the internal /30 — intra role *)
+  check_int "ospf intra" 1 (fst c.ospf);
+  check_int "ospf inter" 0 (snd c.ospf);
+  check_int "ebgp inter" 1 (snd c.ebgp_sessions);
+  check_int "ebgp intra" 0 (fst c.ebgp_sessions);
+  check_bool "uses bgp" true (Rd_core.Roles.uses_bgp a)
+
+let test_roles_igp_as_egp () =
+  (* an OSPF process covering an external-facing link serves as an EGP *)
+  let files =
+    [
+      ( "edge",
+        {|interface Serial0/0
+ ip address 192.0.2.1 255.255.255.252
+!
+interface Ethernet0
+ ip address 10.0.0.1 255.255.255.0
+!
+router ospf 1
+ network 192.0.2.0 0.0.0.3 area 0
+ network 10.0.0.0 0.0.0.255 area 0
+|} );
+    ]
+  in
+  let a = Rd_core.Analysis.analyze ~name:"e" files in
+  let c = Rd_core.Roles.count a in
+  check_int "ospf inter" 1 (snd c.ospf);
+  check_int "ospf intra" 0 (fst c.ospf)
+
+let test_roles_add () =
+  let z = Rd_core.Roles.zero in
+  let a = { z with Rd_core.Roles.ospf = (2, 1); ebgp_sessions = (3, 4) } in
+  let b = { z with Rd_core.Roles.ospf = (1, 1); eigrp = (5, 0) } in
+  let s = Rd_core.Roles.add a b in
+  check_bool "ospf summed" true (s.ospf = (3, 2));
+  check_bool "eigrp" true (s.eigrp = (5, 0));
+  check_bool "sessions" true (s.ebgp_sessions = (3, 4))
+
+let test_conventional_fraction () =
+  let z = Rd_core.Roles.zero in
+  let c = { z with Rd_core.Roles.ospf = (90, 10); ebgp_sessions = (10, 90) } in
+  let igp, ebgp = Rd_core.Roles.total_conventional_fraction c in
+  check_bool "igp 0.9" true (abs_float (igp -. 0.9) < 1e-9);
+  check_bool "ebgp 0.9" true (abs_float (ebgp -. 0.9) < 1e-9);
+  let empty_igp, empty_ebgp = Rd_core.Roles.total_conventional_fraction z in
+  check_bool "empty defaults" true (empty_igp = 1.0 && empty_ebgp = 1.0)
+
+(* --------------------------------------------------------- design class --- *)
+
+let test_classify_evidence_fields () =
+  let a = Rd_core.Analysis.analyze ~name:"fig1" figure1_files in
+  let ev = Rd_core.Design_class.classify a in
+  check_bool "bgp->igp seen" true ev.bgp_into_igp;
+  check_int "external sessions" 1 ev.external_sessions;
+  check_bool "coverage" true (ev.igp_coverage > 0.9)
+
+let test_classify_no_bgp_not_enterprise () =
+  let files =
+    [
+      ( "only",
+        {|interface Ethernet0
+ ip address 10.0.0.1 255.255.255.0
+!
+router ospf 1
+ network 10.0.0.0 0.0.0.255 area 0
+|} );
+    ]
+  in
+  let a = Rd_core.Analysis.analyze ~name:"o" files in
+  check_bool "unclassifiable" true
+    ((Rd_core.Design_class.classify a).design = Rd_core.Design_class.Unclassifiable)
+
+let test_design_to_string () =
+  Alcotest.(check string) "bb" "backbone" (Rd_core.Design_class.design_to_string Rd_core.Design_class.Backbone);
+  Alcotest.(check string) "ent" "enterprise" (Rd_core.Design_class.design_to_string Rd_core.Design_class.Enterprise);
+  Alcotest.(check string) "un" "unclassifiable"
+    (Rd_core.Design_class.design_to_string Rd_core.Design_class.Unclassifiable)
+
+let test_anonymization_invariance () =
+  (* the flagship methodological claim: anonymized configs yield the same
+     routing design *)
+  let net = Rd_gen.Archetype.generate Rd_gen.Archetype.Enterprise ~seed:61 ~n:25 ~index:4 () in
+  let texts = Rd_gen.Builder.to_texts net in
+  let a1 = Rd_core.Analysis.analyze ~name:"orig" texts in
+  let anonymizer = Rd_config.Anonymizer.create ~key:"test" in
+  let texts2 =
+    List.mapi
+      (fun i (_, t) -> (Printf.sprintf "config%d" i, Rd_config.Anonymizer.anonymize_config anonymizer t))
+      texts
+  in
+  let a2 = Rd_core.Analysis.analyze ~name:"anon" texts2 in
+  check_int "instances equal" (Rd_core.Analysis.instance_count a1) (Rd_core.Analysis.instance_count a2);
+  check_int "links equal" (List.length a1.topo.links) (List.length a2.topo.links);
+  check_int "external ifaces equal"
+    (List.length (Rd_topo.Topology.external_interfaces a1.topo))
+    (List.length (Rd_topo.Topology.external_interfaces a2.topo));
+  check_bool "same design" true
+    ((Rd_core.Design_class.classify a1).design = (Rd_core.Design_class.classify a2).design);
+  check_int "filter rules equal" a1.filter_stats.total_rules a2.filter_stats.total_rules;
+  (* instance size multiset identical *)
+  let sizes (a : Rd_core.Analysis.t) =
+    Array.to_list a.graph.assignment.instances
+    |> List.map Rd_routing.Instance.size
+    |> List.sort compare
+  in
+  Alcotest.(check (list int)) "instance sizes" (sizes a1) (sizes a2)
+
+let () =
+  Alcotest.run "rd_core"
+    [
+      ( "analysis",
+        [
+          Alcotest.test_case "from text" `Quick test_analyze_from_text;
+          Alcotest.test_case "ast entry point" `Quick test_analyze_asts_equivalent;
+        ] );
+      ( "roles",
+        [
+          Alcotest.test_case "conventional" `Quick test_roles_conventional;
+          Alcotest.test_case "igp as egp" `Quick test_roles_igp_as_egp;
+          Alcotest.test_case "add" `Quick test_roles_add;
+          Alcotest.test_case "fractions" `Quick test_conventional_fraction;
+        ] );
+      ( "design_class",
+        [
+          Alcotest.test_case "evidence" `Quick test_classify_evidence_fields;
+          Alcotest.test_case "no bgp is not enterprise" `Quick test_classify_no_bgp_not_enterprise;
+          Alcotest.test_case "to_string" `Quick test_design_to_string;
+        ] );
+      ( "anonymization",
+        [ Alcotest.test_case "analysis invariance" `Quick test_anonymization_invariance ] );
+    ]

@@ -1,0 +1,282 @@
+(* Tests for rd_reach: instance-level reachability with policies. *)
+
+open Rd_addr
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let ip = Ipv4.of_string_exn
+
+let cfg = Rd_config.Parser.parse
+
+(* Two OSPF islands joined by a border that redistributes with a filter:
+   only 10.1.0.0/16 may flow from island A into island B. *)
+let filtered_pair =
+  [
+    ( "a1",
+      cfg
+        {|interface Ethernet0
+ ip address 10.1.5.1 255.255.255.0
+!
+interface Ethernet1
+ ip address 10.2.5.1 255.255.255.0
+!
+interface Serial0/0
+ ip address 10.9.0.1 255.255.255.252
+!
+router ospf 1
+ network 10.1.5.0 0.0.0.255 area 0
+ network 10.2.5.0 0.0.0.255 area 0
+ network 10.9.0.0 0.0.0.3 area 0
+|} );
+    ( "border",
+      cfg
+        {|interface Serial0/0
+ ip address 10.9.0.2 255.255.255.252
+!
+interface Serial0/1
+ ip address 10.9.0.5 255.255.255.252
+!
+router ospf 1
+ network 10.9.0.0 0.0.0.3 area 0
+!
+router ospf 2
+ network 10.9.0.4 0.0.0.3 area 0
+ redistribute ospf 1 route-map ONLY-TEN-ONE subnets
+!
+access-list 7 permit 10.1.0.0 0.0.255.255
+route-map ONLY-TEN-ONE permit 10
+ match ip address 7
+|} );
+    ( "b1",
+      cfg
+        {|interface Serial0/0
+ ip address 10.9.0.6 255.255.255.252
+!
+interface Ethernet0
+ ip address 10.50.1.1 255.255.255.0
+!
+router ospf 9
+ network 10.9.0.4 0.0.0.3 area 0
+ network 10.50.1.0 0.0.0.255 area 0
+|} );
+  ]
+
+let analyze routers =
+  let topo = Rd_topo.Topology.build routers in
+  let catalog = Rd_routing.Process.build topo in
+  Rd_routing.Instance_graph.build catalog
+
+let test_origins () =
+  let g = analyze filtered_pair in
+  check_int "two instances" 2 (Array.length g.assignment.instances);
+  let r = Rd_reach.Reachability.compute g in
+  (* island A's origin includes its LANs *)
+  let inst_a =
+    (Array.to_list g.assignment.instances
+    |> List.find (fun (i : Rd_routing.Instance.t) -> List.mem 0 i.routers))
+      .inst_id
+  in
+  check_bool "origin lan" true (Prefix_set.mem (ip "10.1.5.7") r.origins.(inst_a));
+  check_bool "origin link" true (Prefix_set.mem (ip "10.9.0.1") r.origins.(inst_a));
+  check_bool "not other island" false (Prefix_set.mem (ip "10.50.1.1") r.origins.(inst_a))
+
+let test_filtered_flow () =
+  let g = analyze filtered_pair in
+  let r = Rd_reach.Reachability.compute g in
+  let inst_b =
+    (Array.to_list g.assignment.instances
+    |> List.find (fun (i : Rd_routing.Instance.t) -> List.mem 2 i.routers))
+      .inst_id
+  in
+  (* B learned 10.1/16 routes but not 10.2/16: the route-map filtered *)
+  check_bool "permitted flows" true (Prefix_set.mem (ip "10.1.5.7") r.routes.(inst_b));
+  check_bool "filtered blocked" false (Prefix_set.mem (ip "10.2.5.7") r.routes.(inst_b))
+
+let test_reachability_verdicts () =
+  let g = analyze filtered_pair in
+  let r = Rd_reach.Reachability.compute g in
+  (* host in B can reach 10.1/16 but not 10.2/16 *)
+  check_bool "b to a1-lan1" true (Rd_reach.Reachability.can_reach r ~src:(ip "10.50.1.9") ~dst:(ip "10.1.5.9"));
+  check_bool "b to a1-lan2 blocked" false
+    (Rd_reach.Reachability.can_reach r ~src:(ip "10.50.1.9") ~dst:(ip "10.2.5.9"));
+  (* one-way: A can reach B's LAN (no filter in that direction)? the
+     redistribution is only into ospf 2 — island A never learns B's
+     routes, so A cannot reach B *)
+  check_bool "a to b blocked" false
+    (Rd_reach.Reachability.can_reach r ~src:(ip "10.1.5.9") ~dst:(ip "10.50.1.9"));
+  check_bool "two_way false" false (Rd_reach.Reachability.two_way r ~a:(ip "10.50.1.9") ~b:(ip "10.1.5.9"));
+  check_bool "unknown src" false (Rd_reach.Reachability.can_reach r ~src:(ip "8.8.8.8") ~dst:(ip "10.1.5.9"))
+
+let test_internal_space_and_default () =
+  let g = analyze filtered_pair in
+  let r = Rd_reach.Reachability.compute g in
+  check_bool "internal space" true (Prefix_set.mem (ip "10.50.1.1") (Rd_reach.Reachability.internal_space r));
+  (* no external edges here: no default route anywhere *)
+  Array.iter
+    (fun (i : Rd_routing.Instance.t) ->
+      check_bool "no default" false (Rd_reach.Reachability.has_default r i.inst_id))
+    g.assignment.instances
+
+let test_external_offers () =
+  (* a border with an EBGP peering to the outside pulls in external routes *)
+  let routers =
+    [
+      ( "edge",
+        cfg
+          {|interface Serial0/0
+ ip address 192.0.2.1 255.255.255.252
+!
+interface Ethernet0
+ ip address 10.0.0.1 255.255.255.0
+!
+router ospf 1
+ network 10.0.0.0 0.0.0.255 area 0
+ redistribute bgp 65000 subnets
+!
+router bgp 65000
+ neighbor 192.0.2.2 remote-as 7018
+ redistribute ospf 1
+|} );
+    ]
+  in
+  let g = analyze routers in
+  let r = Rd_reach.Reachability.compute g in
+  let ospf =
+    (Array.to_list g.assignment.instances
+    |> List.find (fun (i : Rd_routing.Instance.t) -> i.protocol = Rd_config.Ast.Ospf))
+      .inst_id
+  in
+  check_bool "default present" true (Rd_reach.Reachability.has_default r ospf);
+  check_bool "external dest reachable" true
+    (Rd_reach.Reachability.can_reach r ~src:(ip "10.0.0.9") ~dst:(ip "203.0.113.1"));
+  (* external routes = everything minus internal *)
+  let ext = Rd_reach.Reachability.external_routes_of r ospf in
+  check_bool "external excludes own lan" false (Prefix_set.mem (ip "10.0.0.1") ext);
+  check_bool "external has outside" true (Prefix_set.mem (ip "203.0.113.1") ext);
+  (* the outside world hears our routes *)
+  (match List.assoc_opt 7018 r.advertised with
+   | Some s -> check_bool "lan advertised" true (Prefix_set.mem (ip "10.0.0.1") s)
+   | None -> Alcotest.fail "no advertisement record")
+
+let test_restricted_offers () =
+  (* restrict what the outside offers: only one /16 *)
+  let routers =
+    [
+      ( "edge",
+        cfg
+          {|interface Serial0/0
+ ip address 192.0.2.1 255.255.255.252
+!
+interface Ethernet0
+ ip address 10.0.0.1 255.255.255.0
+!
+router ospf 1
+ network 10.0.0.0 0.0.0.255 area 0
+ redistribute bgp 65000 subnets
+!
+router bgp 65000
+ neighbor 192.0.2.2 remote-as 7018
+|} );
+    ]
+  in
+  let g = analyze routers in
+  let offers = Prefix_set.of_prefix (Prefix.of_string_exn "198.18.0.0/16") in
+  let r = Rd_reach.Reachability.compute ~external_offers:offers g in
+  check_bool "offered reachable" true
+    (Rd_reach.Reachability.can_reach r ~src:(ip "10.0.0.9") ~dst:(ip "198.18.1.1"));
+  check_bool "unoffered unreachable" false
+    (Rd_reach.Reachability.can_reach r ~src:(ip "10.0.0.9") ~dst:(ip "8.8.8.8"))
+
+let test_net15_full () =
+  (* end-to-end: the paper's net15 verdicts from generated configs *)
+  let net = Rd_gen.Gen_restricted.generate (Rd_gen.Gen_restricted.net15_params ~seed:77) in
+  let a = Rd_core.Analysis.analyze ~name:"net15" (Rd_gen.Builder.to_texts net) in
+  let r = Rd_reach.Reachability.compute a.graph in
+  let layout = Rd_gen.Gen_restricted.default_layout in
+  let host p = Prefix.nth p (Prefix.size p / 2) in
+  check_bool "AB2 !-> AB4" false
+    (Rd_reach.Reachability.can_reach r ~src:(host layout.ab2) ~dst:(host layout.ab4));
+  check_bool "AB4 !-> AB2" false
+    (Rd_reach.Reachability.can_reach r ~src:(host layout.ab4) ~dst:(host layout.ab2));
+  check_bool "AB2 -> AB0" true
+    (Rd_reach.Reachability.can_reach r ~src:(host layout.ab2) ~dst:(host (List.hd layout.ab0)));
+  check_bool "AB4 -> AB0" true
+    (Rd_reach.Reachability.can_reach r ~src:(host layout.ab4) ~dst:(host (List.hd layout.ab0)));
+  Array.iter
+    (fun (i : Rd_routing.Instance.t) ->
+      check_bool "no default anywhere" false (Rd_reach.Reachability.has_default r i.inst_id))
+    a.graph.assignment.instances
+
+let test_fixpoint_terminates () =
+  let net = Rd_gen.Archetype.generate Rd_gen.Archetype.Compartment ~seed:3 ~n:30 ~index:1 () in
+  let a = Rd_core.Analysis.analyze ~name:"c" (Rd_gen.Builder.to_texts net) in
+  let r = Rd_reach.Reachability.compute a.graph in
+  check_bool "few iterations" true (r.iterations < 30)
+
+(* ------------------------------------------------------------ properties --- *)
+
+let arb_seed_net =
+  QCheck.make
+    ~print:(fun (a, s, n) -> Printf.sprintf "arch=%d seed=%d n=%d" a s n)
+    QCheck.Gen.(
+      let* a = int_bound 2 in
+      let* s = int_bound 500 in
+      let* n = int_range 6 18 in
+      return (a, s, n))
+
+let graph_of (a, s, n) =
+  let arch =
+    [| Rd_gen.Archetype.Enterprise; Rd_gen.Archetype.Compartment; Rd_gen.Archetype.Hub_spoke |].(a)
+  in
+  let net = Rd_gen.Archetype.generate arch ~seed:s ~n ~index:(s mod 13) () in
+  (Rd_core.Analysis.analyze ~name:"p" (Rd_gen.Builder.to_texts net)).graph
+
+let prop_offers_monotone =
+  QCheck.Test.make ~name:"external offers are monotone" ~count:15 arb_seed_net (fun spec ->
+      let g = graph_of spec in
+      let empty = Rd_reach.Reachability.compute ~external_offers:Prefix_set.empty g in
+      let full = Rd_reach.Reachability.compute g in
+      Array.for_all2 (fun a b -> Prefix_set.subset a b) empty.routes full.routes)
+
+let prop_routes_include_origins =
+  QCheck.Test.make ~name:"routes include origins" ~count:15 arb_seed_net (fun spec ->
+      let g = graph_of spec in
+      let r = Rd_reach.Reachability.compute g in
+      Array.for_all2 (fun o routes -> Prefix_set.subset o routes) r.origins r.routes)
+
+let prop_internal_reachability_symmetric_origin =
+  QCheck.Test.make ~name:"hosts reach their own instance" ~count:15 arb_seed_net (fun spec ->
+      let g = graph_of spec in
+      let r = Rd_reach.Reachability.compute g in
+      Array.for_all
+        (fun origin ->
+          match Prefix_set.to_prefixes origin with
+          | [] -> true
+          | p :: _ ->
+            let h = Rd_addr.Prefix.nth p 0 in
+            Rd_reach.Reachability.can_reach r ~src:h ~dst:h)
+        r.origins)
+
+let () =
+  Alcotest.run "rd_reach"
+    [
+      ( "reachability",
+        [
+          Alcotest.test_case "origin sets" `Quick test_origins;
+          Alcotest.test_case "filtered route flow" `Quick test_filtered_flow;
+          Alcotest.test_case "reachability verdicts" `Quick test_reachability_verdicts;
+          Alcotest.test_case "internal space and defaults" `Quick test_internal_space_and_default;
+          Alcotest.test_case "external offers" `Quick test_external_offers;
+          Alcotest.test_case "restricted offers" `Quick test_restricted_offers;
+          Alcotest.test_case "net15 end to end" `Quick test_net15_full;
+          Alcotest.test_case "fixpoint terminates" `Quick test_fixpoint_terminates;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_offers_monotone;
+            prop_routes_include_origins;
+            prop_internal_reachability_symmetric_origin;
+          ] );
+    ]

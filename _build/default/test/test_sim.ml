@@ -1,0 +1,702 @@
+(* Tests for rd_sim: RIBs with administrative distance, route propagation,
+   failure analysis. *)
+
+open Rd_addr
+open Rd_config
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let ip = Ipv4.of_string_exn
+let pfx = Prefix.of_string_exn
+
+let route ?(metric = 0) ?tag dest source = Rd_sim.Rib.mk ~metric ~tag (pfx dest) source
+
+(* ------------------------------------------------------------------ rib --- *)
+
+let test_admin_distance_order () =
+  let open Rd_sim.Rib in
+  let distances =
+    [
+      admin_distance Connected;
+      admin_distance Static;
+      admin_distance (Proto (Ast.Bgp, `External));
+      admin_distance (Proto (Ast.Eigrp, `Internal));
+      admin_distance (Proto (Ast.Igrp, `Internal));
+      admin_distance (Proto (Ast.Ospf, `Internal));
+      admin_distance (Proto (Ast.Isis, `Internal));
+      admin_distance (Proto (Ast.Rip, `Internal));
+      admin_distance (Proto (Ast.Eigrp, `External));
+      admin_distance (Proto (Ast.Bgp, `Internal));
+    ]
+  in
+  (* strictly increasing = Cisco's preference order *)
+  check_bool "order" true (List.sort compare distances = distances);
+  check_int "connected" 0 (admin_distance Connected);
+  check_int "ibgp" 200 (admin_distance (Proto (Ast.Bgp, `Internal)))
+
+let test_rib_selection () =
+  let open Rd_sim.Rib in
+  let rib = empty in
+  let rib = add rib (route "10.0.0.0/8" (Proto (Ast.Ospf, `Internal))) in
+  let rib = add rib (route "10.0.0.0/8" Connected) in
+  (match find rib (pfx "10.0.0.0/8") with
+   | Some r -> check_bool "connected wins" true (r.source = Connected)
+   | None -> Alcotest.fail "route lost");
+  (* worse routes do not replace *)
+  let rib = add rib (route "10.0.0.0/8" (Proto (Ast.Rip, `Internal))) in
+  (match find rib (pfx "10.0.0.0/8") with
+   | Some r -> check_bool "still connected" true (r.source = Connected)
+   | None -> Alcotest.fail "route lost");
+  check_int "size" 1 (size rib)
+
+let test_rib_metric_tiebreak () =
+  let open Rd_sim.Rib in
+  let rib = add empty (route ~metric:20 "10.0.0.0/8" (Proto (Ast.Ospf, `Internal))) in
+  let rib = add rib (route ~metric:10 "10.0.0.0/8" (Proto (Ast.Ospf, `Internal))) in
+  match find rib (pfx "10.0.0.0/8") with
+  | Some r -> check_int "lower metric wins" 10 r.metric
+  | None -> Alcotest.fail "route lost"
+
+let test_rib_lookup_lpm () =
+  let open Rd_sim.Rib in
+  let rib = add empty (route "10.0.0.0/8" Static) in
+  let rib = add rib (route "10.1.0.0/16" Connected) in
+  (match lookup rib (ip "10.1.2.3") with
+   | Some r -> check_bool "lpm" true (Prefix.to_string r.dest = "10.1.0.0/16")
+   | None -> Alcotest.fail "lookup failed");
+  (match lookup rib (ip "10.9.9.9") with
+   | Some r -> check_bool "fallback" true (Prefix.to_string r.dest = "10.0.0.0/8")
+   | None -> Alcotest.fail "lookup failed");
+  check_bool "miss" true (lookup rib (ip "11.0.0.0") = None)
+
+let test_rib_floating_static () =
+  let open Rd_sim.Rib in
+  (* a floating static (AD 250) loses to OSPF; a normal static wins *)
+  let rib = add empty (mk ~ad_override:250 (pfx "10.0.0.0/8") Static) in
+  let rib = add rib (route "10.0.0.0/8" (Proto (Ast.Ospf, `Internal))) in
+  (match find rib (pfx "10.0.0.0/8") with
+   | Some r -> check_bool "ospf beats floating static" true (r.source = Proto (Ast.Ospf, `Internal))
+   | None -> Alcotest.fail "route lost");
+  let rib2 = add empty (route "10.0.0.0/8" (Proto (Ast.Ospf, `Internal))) in
+  let rib2 = add rib2 (route "10.0.0.0/8" Static) in
+  match find rib2 (pfx "10.0.0.0/8") with
+  | Some r -> check_bool "normal static wins" true (r.source = Static)
+  | None -> Alcotest.fail "route lost"
+
+let test_rib_as_path_tiebreak () =
+  let open Rd_sim.Rib in
+  let rib = add empty (mk ~as_path:[ 1; 2; 3 ] (pfx "10.0.0.0/8") (Proto (Ast.Bgp, `External))) in
+  let rib = add rib (mk ~as_path:[ 9 ] (pfx "10.0.0.0/8") (Proto (Ast.Bgp, `External))) in
+  match find rib (pfx "10.0.0.0/8") with
+  | Some r -> Alcotest.(check (list int)) "shorter path wins" [ 9 ] r.as_path
+  | None -> Alcotest.fail "route lost"
+
+let test_rib_merge () =
+  let open Rd_sim.Rib in
+  let a = add empty (route "10.0.0.0/8" (Proto (Ast.Rip, `Internal))) in
+  let b = add empty (route "10.0.0.0/8" Connected) in
+  let m = merge a b in
+  (match find m (pfx "10.0.0.0/8") with
+   | Some r -> check_bool "best kept" true (r.source = Connected)
+   | None -> Alcotest.fail "merge lost");
+  check_bool "prefixes" true (Prefix_set.mem (ip "10.5.5.5") (prefixes m))
+
+(* ------------------------------------------------------------ propagate --- *)
+
+let cfg = Rd_config.Parser.parse
+
+let small_net =
+  [
+    ( "r1",
+      cfg
+        {|interface Ethernet0
+ ip address 10.1.0.1 255.255.255.0
+!
+interface Serial0/0
+ ip address 10.0.0.1 255.255.255.252
+!
+router ospf 1
+ network 10.0.0.0 0.0.0.3 area 0
+ network 10.1.0.0 0.0.0.255 area 0
+|} );
+    ( "r2",
+      cfg
+        {|interface Serial0/0
+ ip address 10.0.0.2 255.255.255.252
+!
+interface Ethernet0
+ ip address 10.2.0.1 255.255.255.0
+!
+router ospf 1
+ network 10.0.0.0 0.0.0.3 area 0
+ network 10.2.0.0 0.0.0.255 area 0
+|} );
+  ]
+
+let run routers =
+  let topo = Rd_topo.Topology.build routers in
+  let catalog = Rd_routing.Process.build topo in
+  let graph = Rd_routing.Process_graph.build catalog in
+  Rd_sim.Propagate.run graph
+
+let test_propagate_igp () =
+  let sim = run small_net in
+  (* r1's OSPF learned r2's LAN *)
+  let rib = Rd_sim.Propagate.rib_of_process sim 0 in
+  check_bool "learned remote lan" true (Rd_sim.Rib.find rib (pfx "10.2.0.0/24") <> None);
+  check_bool "has own" true (Rd_sim.Rib.find rib (pfx "10.1.0.0/24") <> None);
+  (* the router RIB can forward to the other side *)
+  (match Rd_sim.Propagate.forwards_to sim ~router:0 (ip "10.2.0.55") with
+   | Some r -> check_bool "forwarding" true (Prefix.to_string r.dest = "10.2.0.0/24")
+   | None -> Alcotest.fail "no route");
+  check_bool "converged" true (sim.iterations <= 5)
+
+let test_propagate_connected_preferred () =
+  let sim = run small_net in
+  (* in r1's router RIB, 10.1.0.0/24 must be connected, not OSPF *)
+  match Rd_sim.Rib.find (Rd_sim.Propagate.rib_of_router sim 0) (pfx "10.1.0.0/24") with
+  | Some r -> check_bool "connected wins" true (r.source = Rd_sim.Rib.Connected)
+  | None -> Alcotest.fail "no route"
+
+let test_propagate_external_injection () =
+  let routers =
+    [
+      ( "edge",
+        cfg
+          {|interface Serial0/0
+ ip address 192.0.2.1 255.255.255.252
+!
+interface Ethernet0
+ ip address 10.0.0.1 255.255.255.0
+!
+router ospf 1
+ network 10.0.0.0 0.0.0.255 area 0
+ redistribute bgp 65000 metric 50 subnets
+!
+router bgp 65000
+ neighbor 192.0.2.2 remote-as 7018
+|} );
+    ]
+  in
+  let sim =
+    let topo = Rd_topo.Topology.build routers in
+    let catalog = Rd_routing.Process.build topo in
+    Rd_sim.Propagate.run ~external_prefixes:[ pfx "198.18.0.0/16"; pfx "0.0.0.0/0" ]
+      (Rd_routing.Process_graph.build catalog)
+  in
+  (* BGP RIB holds externals; OSPF received them via redistribution with
+     the configured metric *)
+  let ospf_rib = Rd_sim.Propagate.rib_of_process sim 0 in
+  (match Rd_sim.Rib.find ospf_rib (pfx "198.18.0.0/16") with
+   | Some r ->
+     check_int "metric applied" 50 r.metric;
+     check_bool "marked external" true (r.source = Rd_sim.Rib.Proto (Ast.Ospf, `External))
+   | None -> Alcotest.fail "external not redistributed");
+  (* default route present in the router RIB *)
+  check_bool "default" true
+    (Rd_sim.Propagate.forwards_to sim ~router:0 (ip "8.8.8.8") <> None)
+
+let test_propagate_loads () =
+  let sim = run small_net in
+  let loads = Rd_sim.Propagate.process_loads sim in
+  check_int "two processes" 2 (List.length loads);
+  List.iter (fun (_, sz) -> check_bool "nonzero" true (sz > 0)) loads
+
+(* ---------------------------------------------------- bgp semantics ----- *)
+
+(* Three routers in AS 100 chained by IBGP sessions a--b--c (no mesh, no
+   route reflection): an external route learned at [a] must reach [b] but
+   not [c] — the non-transitivity that forces IBGP meshes (paper §3.1). *)
+let ibgp_chain ~reflector =
+  let rrc = if reflector then "\n neighbor 10.0.255.3 route-reflector-client\n neighbor 10.0.255.1 route-reflector-client" else "" in
+  [
+    ( "a",
+      cfg
+        {|interface Loopback0
+ ip address 10.0.255.1 255.255.255.255
+!
+interface Serial0/0
+ ip address 10.0.0.1 255.255.255.252
+!
+interface Serial0/1
+ ip address 192.0.2.1 255.255.255.252
+!
+router ospf 1
+ network 10.0.0.0 0.0.0.3 area 0
+ network 10.0.255.1 0.0.0.0 area 0
+!
+router bgp 100
+ neighbor 10.0.255.2 remote-as 100
+ neighbor 192.0.2.2 remote-as 7018
+|} );
+    ( "b",
+      cfg
+        (Printf.sprintf
+           {|interface Loopback0
+ ip address 10.0.255.2 255.255.255.255
+!
+interface Serial0/0
+ ip address 10.0.0.2 255.255.255.252
+!
+interface Serial0/1
+ ip address 10.0.0.5 255.255.255.252
+!
+router ospf 1
+ network 10.0.0.0 0.0.0.7 area 0
+ network 10.0.255.2 0.0.0.0 area 0
+!
+router bgp 100
+ neighbor 10.0.255.1 remote-as 100
+ neighbor 10.0.255.3 remote-as 100%s
+|}
+           rrc) );
+    ( "c",
+      cfg
+        {|interface Loopback0
+ ip address 10.0.255.3 255.255.255.255
+!
+interface Serial0/0
+ ip address 10.0.0.6 255.255.255.252
+!
+router ospf 1
+ network 10.0.0.4 0.0.0.3 area 0
+ network 10.0.255.3 0.0.0.0 area 0
+!
+router bgp 100
+ neighbor 10.0.255.2 remote-as 100
+|} );
+  ]
+
+let external_pfx = pfx "198.18.0.0/16"
+
+let run_chain ~reflector =
+  let topo = Rd_topo.Topology.build (ibgp_chain ~reflector) in
+  let catalog = Rd_routing.Process.build topo in
+  Rd_sim.Propagate.run ~external_prefixes:[ external_pfx ]
+    (Rd_routing.Process_graph.build catalog)
+
+let bgp_pid_of sim name =
+  let catalog = (sim : Rd_sim.Propagate.t).graph.catalog in
+  let ri = Option.get (Rd_topo.Topology.router_index catalog.topo name) in
+  List.find
+    (fun pid -> catalog.processes.(pid).Rd_routing.Process.protocol = Ast.Bgp)
+    catalog.by_router.(ri)
+
+let test_ibgp_nontransitive () =
+  let sim = run_chain ~reflector:false in
+  let has name =
+    Rd_sim.Rib.find (Rd_sim.Propagate.rib_of_process sim (bgp_pid_of sim name)) external_pfx
+    <> None
+  in
+  check_bool "a holds the external route" true (has "a");
+  check_bool "b learns it over IBGP" true (has "b");
+  check_bool "c does NOT (no reflection)" false (has "c")
+
+let test_route_reflector () =
+  let sim = run_chain ~reflector:true in
+  let rib_c = Rd_sim.Propagate.rib_of_process sim (bgp_pid_of sim "c") in
+  (match Rd_sim.Rib.find rib_c external_pfx with
+   | Some r ->
+     check_bool "reflected to c" true true;
+     check_bool "marked via ibgp" true r.via_ibgp
+   | None -> Alcotest.fail "route reflector failed to reflect");
+  ()
+
+let test_ebgp_as_path_and_loop () =
+  (* x(AS 65001) -- y(AS 65002): y's copy of x's route carries x's ASN;
+     a route already carrying y's ASN is refused *)
+  let routers =
+    [
+      ( "x",
+        cfg
+          {|interface Serial0/0
+ ip address 10.0.0.1 255.255.255.252
+!
+interface Ethernet0
+ ip address 10.1.0.1 255.255.255.0
+!
+router bgp 65001
+ network 10.1.0.0 mask 255.255.255.0
+ neighbor 10.0.0.2 remote-as 65002
+|} );
+      ( "y",
+        cfg
+          {|interface Serial0/0
+ ip address 10.0.0.2 255.255.255.252
+!
+router bgp 65002
+ neighbor 10.0.0.1 remote-as 65001
+|} );
+    ]
+  in
+  let topo = Rd_topo.Topology.build routers in
+  let catalog = Rd_routing.Process.build topo in
+  let sim =
+    Rd_sim.Propagate.run ~external_prefixes:[] (Rd_routing.Process_graph.build catalog)
+  in
+  let y_pid =
+    List.find
+      (fun pid -> catalog.processes.(pid).Rd_routing.Process.protocol = Ast.Bgp)
+      catalog.by_router.(1)
+  in
+  match Rd_sim.Rib.find (Rd_sim.Propagate.rib_of_process sim y_pid) (pfx "10.1.0.0/24") with
+  | Some r ->
+    Alcotest.(check (list int)) "as path records sender" [ 65001 ] r.as_path;
+    check_bool "external flavour" true (r.source = Rd_sim.Rib.Proto (Ast.Bgp, `External))
+  | None -> Alcotest.fail "route did not cross the EBGP session"
+
+let test_redistribution_strips_attributes () =
+  (* external BGP route redistributed into OSPF loses its AS path *)
+  let routers =
+    [
+      ( "edge",
+        cfg
+          {|interface Serial0/0
+ ip address 192.0.2.1 255.255.255.252
+!
+interface Ethernet0
+ ip address 10.0.0.1 255.255.255.0
+!
+router ospf 1
+ network 10.0.0.0 0.0.0.255 area 0
+ redistribute bgp 65000 subnets
+!
+router bgp 65000
+ neighbor 192.0.2.2 remote-as 7018
+|} );
+    ]
+  in
+  let topo = Rd_topo.Topology.build routers in
+  let catalog = Rd_routing.Process.build topo in
+  let sim =
+    Rd_sim.Propagate.run ~external_prefixes:[ external_pfx ]
+      (Rd_routing.Process_graph.build catalog)
+  in
+  let ospf_pid =
+    List.find
+      (fun pid -> catalog.processes.(pid).Rd_routing.Process.protocol = Ast.Ospf)
+      catalog.by_router.(0)
+  in
+  match Rd_sim.Rib.find (Rd_sim.Propagate.rib_of_process sim ospf_pid) external_pfx with
+  | Some r -> Alcotest.(check (list int)) "as path stripped" [] r.as_path
+  | None -> Alcotest.fail "redistribution failed"
+
+(* -------------------------------------------------------------- failure --- *)
+
+let analyze_graph routers =
+  let topo = Rd_topo.Topology.build routers in
+  let catalog = Rd_routing.Process.build topo in
+  Rd_routing.Instance_graph.build catalog
+
+(* island A -- glue -- island B as two OSPF instances joined by one router *)
+let glued =
+  [
+    ( "a1",
+      cfg
+        {|interface Serial0/0
+ ip address 10.0.0.1 255.255.255.252
+!
+router ospf 1
+ network 10.0.0.0 0.0.0.3 area 0
+|} );
+    ( "glue",
+      cfg
+        {|interface Serial0/0
+ ip address 10.0.0.2 255.255.255.252
+!
+interface Serial0/1
+ ip address 10.0.0.5 255.255.255.252
+!
+router ospf 1
+ network 10.0.0.0 0.0.0.3 area 0
+ redistribute ospf 2 subnets
+!
+router ospf 2
+ network 10.0.0.4 0.0.0.3 area 0
+ redistribute ospf 1 subnets
+|} );
+    ( "b1",
+      cfg
+        {|interface Serial0/0
+ ip address 10.0.0.6 255.255.255.252
+!
+router ospf 1
+ network 10.0.0.4 0.0.0.3 area 0
+|} );
+  ]
+
+let test_failure_single_glue () =
+  let g = analyze_graph glued in
+  check_int "two instances" 2 (Array.length g.assignment.instances);
+  (match Rd_sim.Failure.min_router_failures g ~src:0 ~dst:1 with
+   | Rd_sim.Failure.Cut (k, cut) ->
+     check_int "one failure" 1 k;
+     Alcotest.(check (list int)) "the glue router" [ 1 ] cut
+   | _ -> Alcotest.fail "expected a cut");
+  Alcotest.(check (list int)) "spof" [ 1 ] (Rd_sim.Failure.single_points_of_failure g)
+
+let test_failure_already_partitioned () =
+  (* two unconnected OSPF islands *)
+  let isolated =
+    [
+      ( "x",
+        cfg
+          {|interface Ethernet0
+ ip address 10.1.0.1 255.255.255.0
+!
+router ospf 1
+ network 10.1.0.0 0.0.0.255 area 0
+|} );
+      ( "y",
+        cfg
+          {|interface Ethernet0
+ ip address 10.2.0.1 255.255.255.0
+!
+router ospf 1
+ network 10.2.0.0 0.0.0.255 area 0
+|} );
+    ]
+  in
+  let g = analyze_graph isolated in
+  check_bool "partitioned" true
+    (Rd_sim.Failure.min_router_failures g ~src:0 ~dst:1 = Rd_sim.Failure.Already_partitioned)
+
+let test_default_information_originate () =
+  (* the border holds a static default and originates it into OSPF; the
+     interior router then has a default route *)
+  let routers =
+    [
+      ( "border",
+        cfg
+          {|interface Serial0/0
+ ip address 10.0.0.1 255.255.255.252
+!
+interface Serial0/1
+ ip address 192.0.2.1 255.255.255.252
+!
+router ospf 1
+ network 10.0.0.0 0.0.0.3 area 0
+ default-information originate
+!
+ip route 0.0.0.0 0.0.0.0 192.0.2.2
+|} );
+      ( "inner",
+        cfg
+          {|interface Serial0/0
+ ip address 10.0.0.2 255.255.255.252
+!
+router ospf 1
+ network 10.0.0.0 0.0.0.3 area 0
+|} );
+    ]
+  in
+  let topo = Rd_topo.Topology.build routers in
+  let catalog = Rd_routing.Process.build topo in
+  let sim =
+    Rd_sim.Propagate.run ~external_prefixes:[] (Rd_routing.Process_graph.build catalog)
+  in
+  check_bool "inner has default" true
+    (Rd_sim.Propagate.forwards_to sim ~router:1 (ip "8.8.8.8") <> None);
+  (* without the knob, no default is originated *)
+  let no_knob =
+    List.map
+      (fun (n, (c : Ast.t)) ->
+        ( n,
+          {
+            c with
+            Ast.processes =
+              List.map
+                (fun (p : Ast.router_process) -> { p with Ast.default_originate = false })
+                c.processes;
+          } ))
+      routers
+  in
+  let topo2 = Rd_topo.Topology.build no_knob in
+  let catalog2 = Rd_routing.Process.build topo2 in
+  let sim2 =
+    Rd_sim.Propagate.run ~external_prefixes:[] (Rd_routing.Process_graph.build catalog2)
+  in
+  check_bool "no knob, no default" true
+    (Rd_sim.Propagate.forwards_to sim2 ~router:1 (ip "8.8.8.8") = None)
+
+let test_interface_qualified_dlist () =
+  (* r2 filters routes arriving over Serial0/0 specifically: 10.2/16 is
+     blocked on that interface while a second link lets it through *)
+  let routers =
+    [
+      ( "r1",
+        cfg
+          {|interface Serial0/0
+ ip address 10.0.0.1 255.255.255.252
+!
+interface Ethernet0
+ ip address 10.2.0.1 255.255.255.0
+!
+router ospf 1
+ network 10.0.0.0 0.0.0.3 area 0
+ network 10.2.0.0 0.0.0.255 area 0
+|} );
+      ( "r2",
+        cfg
+          {|interface Serial0/0
+ ip address 10.0.0.2 255.255.255.252
+!
+router ospf 1
+ network 10.0.0.0 0.0.0.3 area 0
+ distribute-list 7 in Serial0/0
+!
+access-list 7 deny 10.2.0.0 0.0.255.255
+access-list 7 permit any
+|} );
+    ]
+  in
+  let topo = Rd_topo.Topology.build routers in
+  let catalog = Rd_routing.Process.build topo in
+  let sim =
+    Rd_sim.Propagate.run ~external_prefixes:[] (Rd_routing.Process_graph.build catalog)
+  in
+  let r2_ospf = List.hd catalog.by_router.(1) in
+  let rib = Rd_sim.Propagate.rib_of_process sim r2_ospf in
+  check_bool "filtered on the interface" true (Rd_sim.Rib.find rib (pfx "10.2.0.0/24") = None);
+  check_bool "link subnet still there" true (Rd_sim.Rib.find rib (pfx "10.0.0.0/30") <> None)
+
+let test_aggregate_address () =
+  (* x aggregates its two /24s into a summary-only /23 toward y: y sees the
+     aggregate but not the components *)
+  let routers =
+    [
+      ( "x",
+        cfg
+          {|interface Serial0/0
+ ip address 10.0.0.1 255.255.255.252
+!
+interface Ethernet0
+ ip address 10.8.0.1 255.255.255.0
+!
+interface Ethernet1
+ ip address 10.8.1.1 255.255.255.0
+!
+router bgp 65001
+ network 10.8.0.0 mask 255.255.255.0
+ network 10.8.1.0 mask 255.255.255.0
+ aggregate-address 10.8.0.0 255.255.254.0 summary-only
+ neighbor 10.0.0.2 remote-as 65002
+|} );
+      ( "y",
+        cfg
+          {|interface Serial0/0
+ ip address 10.0.0.2 255.255.255.252
+!
+router bgp 65002
+ neighbor 10.0.0.1 remote-as 65001
+|} );
+    ]
+  in
+  let topo = Rd_topo.Topology.build routers in
+  let catalog = Rd_routing.Process.build topo in
+  let sim =
+    Rd_sim.Propagate.run ~external_prefixes:[] (Rd_routing.Process_graph.build catalog)
+  in
+  let y_pid =
+    List.find
+      (fun pid -> catalog.processes.(pid).Rd_routing.Process.protocol = Ast.Bgp)
+      catalog.by_router.(1)
+  in
+  let y_rib = Rd_sim.Propagate.rib_of_process sim y_pid in
+  check_bool "aggregate received" true (Rd_sim.Rib.find y_rib (pfx "10.8.0.0/23") <> None);
+  check_bool "component suppressed" true (Rd_sim.Rib.find y_rib (pfx "10.8.0.0/24") = None);
+  (* the aggregating router itself keeps the components *)
+  let x_pid =
+    List.find
+      (fun pid -> catalog.processes.(pid).Rd_routing.Process.protocol = Ast.Bgp)
+      catalog.by_router.(0)
+  in
+  check_bool "origin keeps components" true
+    (Rd_sim.Rib.find (Rd_sim.Propagate.rib_of_process sim x_pid) (pfx "10.8.0.0/24") <> None)
+
+let test_aggregate_needs_component () =
+  (* without any component route the aggregate is not originated *)
+  let routers =
+    [
+      ( "x",
+        cfg
+          {|interface Serial0/0
+ ip address 10.0.0.1 255.255.255.252
+!
+router bgp 65001
+ aggregate-address 10.8.0.0 255.255.254.0
+ neighbor 10.0.0.2 remote-as 65002
+|} );
+    ]
+  in
+  let topo = Rd_topo.Topology.build routers in
+  let catalog = Rd_routing.Process.build topo in
+  let sim =
+    Rd_sim.Propagate.run ~external_prefixes:[] (Rd_routing.Process_graph.build catalog)
+  in
+  let x_pid = List.hd catalog.by_router.(0) in
+  check_bool "no component, no aggregate" true
+    (Rd_sim.Rib.find (Rd_sim.Propagate.rib_of_process sim x_pid) (pfx "10.8.0.0/23") = None)
+
+(* net5's six redistribution routers — the paper's §5.1 headline *)
+let test_net5_cut () =
+  let net = Rd_gen.Gen_compartment.generate (Rd_gen.Gen_compartment.net5_params ~seed:42) in
+  let a = Rd_core.Analysis.analyze ~name:"net5" (Rd_gen.Builder.to_texts net) in
+  let insts = a.graph.assignment.instances in
+  let find f = Array.to_list insts |> List.find f in
+  let big =
+    find (fun (i : Rd_routing.Instance.t) -> i.protocol <> Ast.Bgp && Rd_routing.Instance.size i > 400)
+  in
+  let glue = find (fun (i : Rd_routing.Instance.t) -> i.asn = Some 65001) in
+  match Rd_sim.Failure.min_router_failures a.graph ~src:glue.inst_id ~dst:big.inst_id with
+  | Rd_sim.Failure.Cut (k, _) -> check_int "six redistribution routers" 6 k
+  | _ -> Alcotest.fail "expected a cut"
+
+let test_disconnection_scenarios () =
+  let g = analyze_graph glued in
+  let scenarios = Rd_sim.Failure.disconnection_scenarios g in
+  (* both directions between the two instances *)
+  check_int "scenarios" 2 (List.length scenarios)
+
+let () =
+  Alcotest.run "rd_sim"
+    [
+      ( "rib",
+        [
+          Alcotest.test_case "admin distance order" `Quick test_admin_distance_order;
+          Alcotest.test_case "selection" `Quick test_rib_selection;
+          Alcotest.test_case "metric tiebreak" `Quick test_rib_metric_tiebreak;
+          Alcotest.test_case "longest-prefix lookup" `Quick test_rib_lookup_lpm;
+          Alcotest.test_case "floating static" `Quick test_rib_floating_static;
+          Alcotest.test_case "as-path tiebreak" `Quick test_rib_as_path_tiebreak;
+          Alcotest.test_case "merge" `Quick test_rib_merge;
+        ] );
+      ( "propagate",
+        [
+          Alcotest.test_case "igp exchange" `Quick test_propagate_igp;
+          Alcotest.test_case "connected preferred" `Quick test_propagate_connected_preferred;
+          Alcotest.test_case "external injection" `Quick test_propagate_external_injection;
+          Alcotest.test_case "loads" `Quick test_propagate_loads;
+        ] );
+      ( "bgp semantics",
+        [
+          Alcotest.test_case "ibgp non-transitivity" `Quick test_ibgp_nontransitive;
+          Alcotest.test_case "route reflection" `Quick test_route_reflector;
+          Alcotest.test_case "ebgp as-path" `Quick test_ebgp_as_path_and_loop;
+          Alcotest.test_case "redistribution strips attributes" `Quick
+            test_redistribution_strips_attributes;
+          Alcotest.test_case "default-information originate" `Quick
+            test_default_information_originate;
+          Alcotest.test_case "interface-qualified dlist" `Quick test_interface_qualified_dlist;
+          Alcotest.test_case "aggregate-address" `Quick test_aggregate_address;
+          Alcotest.test_case "aggregate needs component" `Quick test_aggregate_needs_component;
+        ] );
+      ( "failure",
+        [
+          Alcotest.test_case "single glue router" `Quick test_failure_single_glue;
+          Alcotest.test_case "already partitioned" `Quick test_failure_already_partitioned;
+          Alcotest.test_case "net5 six-router cut" `Slow test_net5_cut;
+          Alcotest.test_case "disconnection scenarios" `Quick test_disconnection_scenarios;
+        ] );
+    ]

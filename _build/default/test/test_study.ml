@@ -1,0 +1,208 @@
+(* Tests for rd_study: the population's paper-matching invariants and the
+   experiment reports.  Full-population checks are marked Slow. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let seed = 2004
+
+let specs = Rd_study.Population.specs ~master_seed:seed
+
+(* ----------------------------------------------------- population specs --- *)
+
+let test_population_shape () =
+  check_int "31 networks" 31 (List.length specs);
+  check_int "8035 routers" 8035 (Rd_study.Population.total_routers ~master_seed:seed)
+
+let test_population_case_studies () =
+  let net5 = List.find (fun (s : Rd_study.Population.spec) -> s.net_id = 5) specs in
+  check_bool "net5 is the 881 compartment" true
+    (net5.arch = Rd_gen.Archetype.Compartment && net5.n = 881);
+  let net15 = List.find (fun (s : Rd_study.Population.spec) -> s.net_id = 15) specs in
+  check_bool "net15 is the 79 restricted" true
+    (net15.arch = Rd_gen.Archetype.Restricted && net15.n = 79)
+
+let test_population_marginals () =
+  let of_arch a = List.filter (fun (s : Rd_study.Population.spec) -> s.arch = a) specs in
+  let backbones = of_arch Rd_gen.Archetype.Backbone in
+  check_int "4 backbones" 4 (List.length backbones);
+  List.iter
+    (fun (s : Rd_study.Population.spec) ->
+      check_bool "backbone size range" true (s.n >= 400 && s.n <= 600))
+    backbones;
+  let mean =
+    float_of_int (List.fold_left (fun acc (s : Rd_study.Population.spec) -> acc + s.n) 0 backbones)
+    /. 4.0
+  in
+  check_bool "backbone mean 540" true (abs_float (mean -. 540.0) < 1.0);
+  let enterprises = of_arch Rd_gen.Archetype.Enterprise in
+  check_int "7 enterprises" 7 (List.length enterprises);
+  List.iter
+    (fun (s : Rd_study.Population.spec) ->
+      check_bool "enterprise sizes" true (s.n >= 19 && s.n <= 101))
+    enterprises;
+  (* the 20 others: median 36, max 1750, four larger than 600 *)
+  let others =
+    List.filter
+      (fun (s : Rd_study.Population.spec) ->
+        s.arch <> Rd_gen.Archetype.Backbone && s.arch <> Rd_gen.Archetype.Enterprise)
+      specs
+  in
+  check_int "20 others" 20 (List.length others);
+  let sizes = List.sort compare (List.map (fun (s : Rd_study.Population.spec) -> s.n) others) in
+  check_int "median 36" 36 ((List.nth sizes 9 + List.nth sizes 10) / 2);
+  check_int "max 1750" 1750 (List.nth sizes 19);
+  check_int "four larger than backbones" 4 (List.length (List.filter (fun n -> n > 600) sizes))
+
+let test_population_bgp_and_filters () =
+  let no_bgp = List.filter (fun (s : Rd_study.Population.spec) -> not s.use_bgp) specs in
+  check_int "3 without bgp" 3 (List.length no_bgp);
+  let no_filters = List.filter (fun (s : Rd_study.Population.spec) -> not s.use_filters) specs in
+  check_int "3 without filters" 3 (List.length no_filters)
+
+let test_repository_sizes () =
+  let sizes = Rd_study.Population.repository_sizes ~master_seed:seed ~count:2400 in
+  check_int "2400 networks" 2400 (List.length sizes);
+  let small = List.length (List.filter (fun n -> n < 10) sizes) in
+  (* the repository is dominated by small networks (Fig 8) *)
+  check_bool "mostly small" true (float_of_int small /. 2400.0 > 0.6);
+  check_bool "all positive" true (List.for_all (fun n -> n >= 1) sizes)
+
+(* ------------------------------------------------- single-network build --- *)
+
+let test_build_network_net15 () =
+  let spec = List.find (fun (s : Rd_study.Population.spec) -> s.net_id = 15) specs in
+  let n = Rd_study.Population.build_network spec in
+  check_int "instances" 6 (Rd_core.Analysis.instance_count n.analysis);
+  (* experiment report runs and contains the key verdicts *)
+  let report = Rd_study.Experiments.net15_case n in
+  let contains needle =
+    let h = report and n = needle in
+    let rec go i =
+      i + String.length n <= String.length h
+      && (String.sub h i (String.length n) = n || go (i + 1))
+    in
+    go 0
+  in
+  check_bool "AB2->AB4 false" true (contains "AB2 host -> AB4 host: false");
+  check_bool "no default" true (contains "instances holding a default route: 0");
+  check_bool "intersections all empty" true (not (contains "NON-EMPTY"))
+
+let test_generate_one_files () =
+  let spec = List.find (fun (s : Rd_study.Population.spec) -> s.net_id = 10) specs in
+  let files = Rd_study.Population.generate_one spec in
+  check_int "file count" spec.n (List.length files);
+  check_bool "anonymized names" true (List.mem_assoc "config1" files)
+
+(* ----------------------------------------------------- full study (slow) --- *)
+
+let test_full_study () =
+  let nets = Rd_study.Population.build ~master_seed:seed () in
+  check_int "31 analyzed" 31 (List.length nets);
+  (* §7 classification comes out exactly as the paper's *)
+  let designs =
+    List.map
+      (fun (n : Rd_study.Population.network) -> (Rd_core.Design_class.classify n.analysis).design)
+      nets
+  in
+  let count d = List.length (List.filter (fun x -> x = d) designs) in
+  check_int "4 backbones" 4 (count Rd_core.Design_class.Backbone);
+  check_int "7 enterprises" 7 (count Rd_core.Design_class.Enterprise);
+  check_int "20 unclassifiable" 20 (count Rd_core.Design_class.Unclassifiable);
+  (* Table 1 shape: conventional roles near 90% on both axes *)
+  let total =
+    List.fold_left
+      (fun acc (n : Rd_study.Population.network) -> Rd_core.Roles.add acc (Rd_core.Roles.count n.analysis))
+      Rd_core.Roles.zero nets
+  in
+  let igp_frac, ebgp_frac = Rd_core.Roles.total_conventional_fraction total in
+  check_bool "igp conventional ~0.9" true (igp_frac > 0.82 && igp_frac < 0.97);
+  check_bool "ebgp conventional ~0.9" true (ebgp_frac > 0.82 && ebgp_frac < 0.97);
+  (* Table 3 shape: Serial dominates, FastEthernet second among physical *)
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (fun (n : Rd_study.Population.network) ->
+      List.iter
+        (fun (ty, c) ->
+          let cur = try Hashtbl.find counts ty with Not_found -> 0 in
+          Hashtbl.replace counts ty (cur + c))
+        (Rd_topo.Topology.interface_census n.analysis.topo))
+    nets;
+  let get ty = try Hashtbl.find counts ty with Not_found -> 0 in
+  check_bool "serial #1" true (get Rd_topo.Itype.Serial > get Rd_topo.Itype.FastEthernet);
+  check_bool "fe > atm" true (get Rd_topo.Itype.FastEthernet > get Rd_topo.Itype.ATM);
+  check_bool "atm > pos" true (get Rd_topo.Itype.ATM > get Rd_topo.Itype.POS);
+  (* Fig 11 shape: 28 networks have filters; >30% of them are >=40% internal *)
+  let percents =
+    List.filter_map
+      (fun (n : Rd_study.Population.network) ->
+        Rd_policy.Filter_stats.internal_percentage n.analysis.filter_stats)
+      nets
+  in
+  check_int "28 filtered networks" 28 (List.length percents);
+  let heavy = List.length (List.filter (fun p -> p >= 40.0) percents) in
+  check_bool "over 30% are internal-heavy" true
+    (float_of_int heavy /. float_of_int (List.length percents) > 0.30);
+  (* every experiment report renders *)
+  let net5 = List.find (fun (n : Rd_study.Population.network) -> n.spec.net_id = 5) nets in
+  check_bool "fig4" true (String.length (Rd_study.Experiments.fig4 net5) > 0);
+  check_bool "fig8" true (String.length (Rd_study.Experiments.fig8 ~master_seed:seed nets) > 0);
+  check_bool "table1" true (String.length (Rd_study.Experiments.table1 nets) > 0);
+  check_bool "table3" true (String.length (Rd_study.Experiments.table3 nets) > 0);
+  check_bool "fig11" true (String.length (Rd_study.Experiments.fig11 nets) > 0);
+  check_bool "sec7" true (String.length (Rd_study.Experiments.sec7 nets) > 0);
+  check_bool "net5 case" true (String.length (Rd_study.Experiments.net5_case net5) > 0);
+  check_bool "ablation instances" true
+    (String.length (Rd_study.Experiments.ablation_instances [ net5 ]) > 0);
+  check_bool "ablation external" true
+    (String.length (Rd_study.Experiments.ablation_external [ net5 ]) > 0)
+
+let test_study_deterministic () =
+  (* the same master seed regenerates identical configuration text *)
+  let spec = List.find (fun (s : Rd_study.Population.spec) -> s.net_id = 13) specs in
+  check_bool "files identical across builds" true
+    (Rd_study.Population.generate_one spec = Rd_study.Population.generate_one spec);
+  (* and a different master seed changes them *)
+  let specs2 = Rd_study.Population.specs ~master_seed:(seed + 1) in
+  let spec2 = List.find (fun (s : Rd_study.Population.spec) -> s.net_id = 13) specs2 in
+  check_bool "different master seed differs" true
+    (Rd_study.Population.generate_one spec <> Rd_study.Population.generate_one spec2)
+
+let test_scorecard () =
+  (* the scorecard report passes every criterion on a freshly built
+     population *)
+  let nets = Rd_study.Population.build ~master_seed:seed () in
+  let report = Rd_study.Experiments.scorecard ~master_seed:seed nets in
+  let contains needle =
+    let rec go i =
+      i + String.length needle <= String.length report
+      && (String.sub report i (String.length needle) = needle || go (i + 1))
+    in
+    go 0
+  in
+  check_bool "no failures" false (contains "FAIL");
+  check_bool "summary present" true (contains "20/20 criteria pass")
+
+let () =
+  Alcotest.run "rd_study"
+    [
+      ( "population",
+        [
+          Alcotest.test_case "shape" `Quick test_population_shape;
+          Alcotest.test_case "case studies placed" `Quick test_population_case_studies;
+          Alcotest.test_case "size marginals" `Quick test_population_marginals;
+          Alcotest.test_case "bgp/filter marginals" `Quick test_population_bgp_and_filters;
+          Alcotest.test_case "repository sizes" `Quick test_repository_sizes;
+        ] );
+      ( "networks",
+        [
+          Alcotest.test_case "net15 build and report" `Quick test_build_network_net15;
+          Alcotest.test_case "generate_one" `Quick test_generate_one_files;
+        ] );
+      ( "full study",
+        [
+          Alcotest.test_case "paper invariants" `Slow test_full_study;
+          Alcotest.test_case "determinism" `Quick test_study_deterministic;
+          Alcotest.test_case "scorecard" `Slow test_scorecard;
+        ] );
+    ]

@@ -1,0 +1,388 @@
+(* Tests for rd_util: PRNG, SHA-1 (RFC 3174 vectors), union-find, max-flow,
+   statistics, CDF, tables, DOT. *)
+
+open Rd_util
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* --------------------------------------------------------------- Prng --- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    check_bool "same stream" true (Prng.bits64 a = Prng.bits64 b)
+  done
+
+let test_prng_int_range () =
+  let rng = Prng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Prng.int rng 17 in
+    check_bool "in range" true (v >= 0 && v < 17)
+  done;
+  for _ = 1 to 1000 do
+    let v = Prng.int_in rng 5 9 in
+    check_bool "in closed range" true (v >= 5 && v <= 9)
+  done
+
+let test_prng_int_uniformish () =
+  let rng = Prng.create 99 in
+  let counts = Array.make 10 0 in
+  let n = 20000 in
+  for _ = 1 to n do
+    let v = Prng.int rng 10 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      check_bool (Printf.sprintf "bucket %d near uniform (%d)" i c) true
+        (c > (n / 10) - 400 && c < (n / 10) + 400))
+    counts
+
+let test_prng_split_independent () =
+  let rng = Prng.create 3 in
+  let s = Prng.split rng in
+  (* split stream differs from parent's continuation *)
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Prng.bits64 s <> Prng.bits64 rng then differs := true
+  done;
+  check_bool "split independent" true !differs
+
+let test_prng_helpers () =
+  let rng = Prng.create 5 in
+  check_bool "bernoulli 0" false (Prng.bernoulli rng 0.0);
+  check_bool "bernoulli 1" true (Prng.bernoulli rng 1.0);
+  let arr = [| 1; 2; 3 |] in
+  for _ = 1 to 50 do
+    check_bool "choice member" true (List.mem (Prng.choice rng arr) [ 1; 2; 3 ])
+  done;
+  check_int "weighted certain" 9 (Prng.weighted rng [ (1.0, 9) ]);
+  for _ = 1 to 50 do
+    check_int "weighted zero excluded" 1 (Prng.weighted rng [ (0.0, 0); (1.0, 1) ])
+  done;
+  let sample = Prng.sample rng 3 [ 1; 2; 3; 4; 5 ] in
+  check_int "sample size" 3 (List.length sample);
+  check_int "sample distinct" 3 (List.length (List.sort_uniq compare sample));
+  let big = Prng.sample rng 10 [ 1; 2 ] in
+  check_int "sample clipped" 2 (List.length big)
+
+let test_prng_shuffle_permutation () =
+  let rng = Prng.create 11 in
+  let a = Array.init 20 (fun i -> i) in
+  Prng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check_bool "permutation" true (sorted = Array.init 20 (fun i -> i))
+
+let test_prng_pareto () =
+  let rng = Prng.create 13 in
+  for _ = 1 to 200 do
+    check_bool "pareto >= xmin" true (Prng.pareto_int rng ~alpha:1.2 ~xmin:3 >= 3)
+  done
+
+(* --------------------------------------------------------------- Sha1 --- *)
+
+(* RFC 3174 test vectors *)
+let test_sha1_vectors () =
+  let cases =
+    [
+      ("abc", "a9993e364706816aba3e25717850c26c9cd0d89d");
+      ( "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+        "84983e441c3bd26ebaae4aa1f95129e5e54670f1" );
+      ("", "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+      ("a", "86f7e437faa5a7fce15d1ddcb9eaeaea377667b8");
+      ( String.concat "" (List.init 80 (fun _ -> "01234567")),
+        "dea356a2cddd90c7a7ecedc5ebb563934f460452" );
+    ]
+  in
+  List.iter
+    (fun (input, expect) -> check_string ("sha1 of " ^ String.sub input 0 (min 10 (String.length input))) expect (Sha1.hex_of_string input))
+    cases
+
+let test_sha1_lengths () =
+  (* exercise every padding branch: lengths around the 55/56/64 boundaries *)
+  List.iter
+    (fun len ->
+      let s = String.make len 'x' in
+      let d = Sha1.digest_string s in
+      check_int (Printf.sprintf "digest length for %d" len) 20 (String.length d);
+      (* digest must differ from the digest of a string one byte longer *)
+      check_bool "distinct" true (d <> Sha1.digest_string (s ^ "x")))
+    [ 0; 1; 54; 55; 56; 57; 63; 64; 65; 119; 128; 1000 ]
+
+let test_sha1_prf () =
+  let a = Sha1.prf ~key:"k1" "data" in
+  check_bool "deterministic" true (a = Sha1.prf ~key:"k1" "data");
+  check_bool "key matters" true (a <> Sha1.prf ~key:"k2" "data");
+  check_bool "data matters" true (a <> Sha1.prf ~key:"k1" "data2")
+
+(* --------------------------------------------------------- Union_find --- *)
+
+let test_uf_basic () =
+  let uf = Union_find.create 10 in
+  check_int "initial sets" 10 (Union_find.count uf);
+  Union_find.union uf 0 1;
+  Union_find.union uf 1 2;
+  check_bool "same" true (Union_find.same uf 0 2);
+  check_bool "not same" false (Union_find.same uf 0 3);
+  check_int "sets after" 8 (Union_find.count uf);
+  Union_find.union uf 0 2;
+  check_int "idempotent union" 8 (Union_find.count uf)
+
+let test_uf_groups () =
+  let uf = Union_find.create 6 in
+  Union_find.union uf 0 1;
+  Union_find.union uf 2 3;
+  Union_find.union uf 3 4;
+  let groups = Union_find.groups uf in
+  check_int "group count" 3 (Hashtbl.length groups);
+  let sizes =
+    Hashtbl.fold (fun _ members acc -> List.length members :: acc) groups []
+    |> List.sort compare
+  in
+  Alcotest.(check (list int)) "group sizes" [ 1; 2; 3 ] sizes
+
+let prop_uf_transitive =
+  QCheck.Test.make ~name:"union-find transitivity" ~count:100
+    (QCheck.list_of_size (QCheck.Gen.int_bound 30)
+       (QCheck.pair (QCheck.int_bound 19) (QCheck.int_bound 19)))
+    (fun unions ->
+      let uf = Union_find.create 20 in
+      List.iter (fun (a, b) -> Union_find.union uf a b) unions;
+      (* reflexive closure check: same is an equivalence *)
+      List.for_all
+        (fun (a, b) -> Union_find.same uf a b)
+        unions
+      &&
+      let reps = List.init 20 (fun i -> Union_find.find uf i) in
+      List.length (List.sort_uniq compare reps) = Union_find.count uf)
+
+(* ------------------------------------------------------------ Maxflow --- *)
+
+let test_maxflow_simple () =
+  let g = Maxflow.create 4 in
+  Maxflow.add_edge g 0 1 3;
+  Maxflow.add_edge g 0 2 2;
+  Maxflow.add_edge g 1 3 2;
+  Maxflow.add_edge g 2 3 3;
+  Maxflow.add_edge g 1 2 5;
+  check_int "flow" 5 (Maxflow.max_flow g ~source:0 ~sink:3)
+
+let test_maxflow_disconnected () =
+  let g = Maxflow.create 4 in
+  Maxflow.add_edge g 0 1 5;
+  Maxflow.add_edge g 2 3 5;
+  check_int "no path" 0 (Maxflow.max_flow g ~source:0 ~sink:3)
+
+let test_min_vertex_cut () =
+  (* diamond: 0 - {1,2} - 3: removing both middles disconnects *)
+  let edges = [ (0, 1); (0, 2); (1, 3); (2, 3) ] in
+  (match Maxflow.min_vertex_cut ~n:4 ~edges ~source:0 ~sink:3 with
+   | Some k -> check_int "diamond cut" 2 k
+   | None -> Alcotest.fail "unexpected adjacency");
+  (* adjacent source and sink: no finite cut *)
+  check_bool "adjacent" true (Maxflow.min_vertex_cut ~n:2 ~edges:[ (0, 1) ] ~source:0 ~sink:1 = None)
+
+let test_min_vertex_cut_set () =
+  (* two cliques joined through routers 4 and 5; several minimising sets
+     exist ({4,5}, {0,1}, {2,3}) so verify the returned set by removal *)
+  let edges =
+    [ (0, 1); (0, 4); (1, 4); (0, 5); (1, 5); (2, 3); (2, 4); (3, 4); (2, 5); (3, 5) ]
+  in
+  let sources = [ 0; 1 ] and sinks = [ 2; 3 ] in
+  let value, cut = Maxflow.min_vertex_cut_set ~n:6 ~edges ~sources ~sinks in
+  check_int "cut value" 2 value;
+  check_int "cut size matches value" 2 (List.length cut);
+  (* removing the cut disconnects surviving sources from surviving sinks *)
+  let alive v = not (List.mem v cut) in
+  let adj v =
+    List.filter_map
+      (fun (a, b) ->
+        if a = v && alive b then Some b else if b = v && alive a then Some a else None)
+      edges
+  in
+  let visited = Hashtbl.create 8 in
+  let rec go = function
+    | [] -> false
+    | v :: rest ->
+      if List.mem v sinks then true
+      else if Hashtbl.mem visited v then go rest
+      else begin
+        Hashtbl.replace visited v ();
+        go (adj v @ rest)
+      end
+  in
+  check_bool "cut disconnects" false (go (List.filter alive sources))
+
+let test_min_vertex_cut_shared_member () =
+  (* a vertex in both source and sink sets is itself a unit-cost path *)
+  let value, cut = Maxflow.min_vertex_cut_set ~n:3 ~edges:[] ~sources:[ 0 ] ~sinks:[ 0 ] in
+  check_int "shared member" 1 value;
+  Alcotest.(check (list int)) "cut is the shared vertex" [ 0 ] cut
+
+let prop_mincut_vs_bruteforce =
+  (* For small random graphs, compare against brute-force removal. *)
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 4 7 in
+      let* edges =
+        list_size (int_bound 10)
+          (let* a = int_bound (n - 1) in
+           let* b = int_bound (n - 1) in
+           return (a, b))
+      in
+      return (n, List.filter (fun (a, b) -> a <> b) edges))
+  in
+  QCheck.Test.make ~name:"min_vertex_cut_set matches brute force" ~count:60
+    (QCheck.make ~print:(fun (n, e) ->
+         Printf.sprintf "n=%d edges=%s" n
+           (String.concat ";" (List.map (fun (a, b) -> Printf.sprintf "%d-%d" a b) e)))
+       gen)
+    (fun (n, edges) ->
+      let sources = [ 0 ] and sinks = [ n - 1 ] in
+      let reachable removed =
+        (* BFS from surviving sources to surviving sinks *)
+        let alive v = not (List.mem v removed) in
+        let adj v =
+          List.filter_map
+            (fun (a, b) ->
+              if a = v && alive b then Some b else if b = v && alive a then Some a else None)
+            edges
+        in
+        let visited = Hashtbl.create 8 in
+        let rec go = function
+          | [] -> false
+          | v :: rest ->
+            if List.mem v sinks then true
+            else if Hashtbl.mem visited v then go rest
+            else begin
+              Hashtbl.replace visited v ();
+              go (adj v @ rest)
+            end
+        in
+        go (List.filter alive sources)
+      in
+      (* brute force: smallest subset of vertices whose removal kills all paths *)
+      let rec subsets k vs =
+        if k = 0 then [ [] ]
+        else
+          match vs with
+          | [] -> []
+          | v :: rest ->
+            List.map (fun s -> v :: s) (subsets (k - 1) rest) @ subsets k rest
+      in
+      let vertices = List.init n (fun i -> i) in
+      let rec brute k =
+        if k > n then n
+        else if List.exists (fun s -> not (reachable s)) (subsets k vertices) then k
+        else brute (k + 1)
+      in
+      let expected = brute 0 in
+      let value, _ = Maxflow.min_vertex_cut_set ~n ~edges ~sources ~sinks in
+      value = expected)
+
+(* --------------------------------------------------------------- Stat --- *)
+
+let test_stat () =
+  check_bool "mean" true (abs_float (Stat.mean [ 1.0; 2.0; 3.0 ] -. 2.0) < 1e-9);
+  check_bool "mean empty" true (Stat.mean [] = 0.0);
+  check_bool "median odd" true (Stat.median [ 5.0; 1.0; 3.0 ] = 3.0);
+  check_bool "median even" true (Stat.median [ 4.0; 1.0; 3.0; 2.0 ] = 2.5);
+  check_bool "p100" true (Stat.percentile 100.0 [ 1.0; 9.0; 5.0 ] = 9.0);
+  check_bool "p1" true (Stat.percentile 1.0 [ 1.0; 9.0; 5.0 ] = 1.0);
+  check_int "imin" 1 (Stat.imin [ 3; 1; 2 ]);
+  check_int "imax" 3 (Stat.imax [ 3; 1; 2 ]);
+  check_bool "stddev const" true (Stat.stddev [ 4.0; 4.0; 4.0 ] = 0.0);
+  let h = Stat.histogram ~edges:[ 10.0; 20.0 ] [ 5.0; 10.0; 15.0; 25.0 ] in
+  Alcotest.(check (array int)) "histogram" [| 2; 1; 1 |] h
+
+(* ---------------------------------------------------------------- Cdf --- *)
+
+let test_cdf () =
+  let c = Cdf.of_samples [ 1.0; 2.0; 3.0; 4.0 ] in
+  check_bool "eval mid" true (Cdf.eval c 2.0 = 0.5);
+  check_bool "eval below" true (Cdf.eval c 0.5 = 0.0);
+  check_bool "eval above" true (Cdf.eval c 10.0 = 1.0);
+  check_int "size" 4 (Cdf.size c);
+  check_int "points" 4 (List.length (Cdf.points c));
+  check_bool "empty" true (Cdf.eval (Cdf.of_samples []) 1.0 = 0.0);
+  (* plots render without exceptions and contain axes *)
+  check_bool "plot nonempty" true (String.length (Cdf.plot c) > 0);
+  check_bool "series plot" true
+    (String.length (Cdf.plot_series [ ("a", [ 1.0; 2.0 ]); ("b", [ 3.0 ]) ]) > 0)
+
+(* -------------------------------------------------------------- Table --- *)
+
+let test_table () =
+  let out = Table.render ~headers:[ "a"; "b" ] [ [ "xx"; "1" ]; [ "y"; "22" ] ] in
+  check_bool "has header" true (String.length out > 0);
+  let lines = String.split_on_char '\n' out in
+  check_int "line count" 5 (List.length lines);
+  (* all non-empty lines align to the same width *)
+  let widths = List.filter_map (fun l -> if l = "" then None else Some (String.length l)) lines in
+  check_bool "aligned" true (List.length (List.sort_uniq compare widths) <= 2);
+  let right = Table.render ~aligns:[ Table.Right ] [ [ "1" ]; [ "22" ] ] in
+  check_bool "right aligned" true (String.sub right 0 2 = " 1")
+
+(* ---------------------------------------------------------------- Dot --- *)
+
+let test_dot () =
+  let g = Dot.create "g" in
+  Dot.node g ~label:"Node A" ~shape:"box" "a";
+  Dot.node g "b";
+  Dot.edge g ~label:"x" "a" "b";
+  Dot.subgraph g ~label:"cluster" "c1" [ "a" ];
+  let s = Dot.to_string g in
+  check_bool "digraph" true (String.length s > 0 && String.sub s 0 7 = "digraph");
+  let contains needle =
+    let rec go i =
+      i + String.length needle <= String.length s
+      && (String.sub s i (String.length needle) = needle || go (i + 1))
+    in
+    go 0
+  in
+  check_bool "node a" true (contains "\"a\" [label=\"Node A\", shape=\"box\"]");
+  check_bool "edge" true (contains "\"a\" -> \"b\"");
+  check_bool "cluster" true (contains "cluster_c1");
+  let u = Dot.create ~directed:false "u" in
+  Dot.edge u "x" "y";
+  check_bool "undirected" true (String.sub (Dot.to_string u) 0 5 = "graph")
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "rd_util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "int ranges" `Quick test_prng_int_range;
+          Alcotest.test_case "roughly uniform" `Quick test_prng_int_uniformish;
+          Alcotest.test_case "split" `Quick test_prng_split_independent;
+          Alcotest.test_case "helpers" `Quick test_prng_helpers;
+          Alcotest.test_case "shuffle is permutation" `Quick test_prng_shuffle_permutation;
+          Alcotest.test_case "pareto" `Quick test_prng_pareto;
+        ] );
+      ( "sha1",
+        [
+          Alcotest.test_case "rfc3174 vectors" `Quick test_sha1_vectors;
+          Alcotest.test_case "padding boundaries" `Quick test_sha1_lengths;
+          Alcotest.test_case "prf" `Quick test_sha1_prf;
+        ] );
+      ( "union_find",
+        Alcotest.test_case "basics" `Quick test_uf_basic
+        :: Alcotest.test_case "groups" `Quick test_uf_groups
+        :: qc [ prop_uf_transitive ] );
+      ( "maxflow",
+        Alcotest.test_case "simple network" `Quick test_maxflow_simple
+        :: Alcotest.test_case "disconnected" `Quick test_maxflow_disconnected
+        :: Alcotest.test_case "min vertex cut" `Quick test_min_vertex_cut
+        :: Alcotest.test_case "cut set" `Quick test_min_vertex_cut_set
+        :: Alcotest.test_case "shared source/sink member" `Quick test_min_vertex_cut_shared_member
+        :: qc [ prop_mincut_vs_bruteforce ] );
+      ("stat", [ Alcotest.test_case "summary statistics" `Quick test_stat ]);
+      ("cdf", [ Alcotest.test_case "evaluation and plotting" `Quick test_cdf ]);
+      ("table", [ Alcotest.test_case "rendering" `Quick test_table ]);
+      ("dot", [ Alcotest.test_case "emission" `Quick test_dot ]);
+    ]
