@@ -23,18 +23,86 @@ let line = String.make 78 '='
 
 let section title = Printf.printf "\n%s\n%s\n%s\n" line title line
 
+(* --------------------------------------------------------------- args --- *)
+
+let jobs = ref (Rd_util.Pool.default_jobs ())
+let json_path = ref ""
+
+let () =
+  Arg.parse
+    [
+      ("-j", Arg.Set_int jobs, "N  worker domains for the study build (default RDNA_JOBS or cores)");
+      ("--jobs", Arg.Set_int jobs, "N  same as -j");
+      ("--json", Arg.Set_string json_path, "FILE  write machine-readable results to FILE");
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument: " ^ a)))
+    "bench [-j N] [--json FILE]"
+
 (* ------------------------------------------------------------- part 1 --- *)
+
+(* Build the study twice — sequentially and across the domain pool —
+   to measure the speedup and assert the outputs are byte-identical. *)
+let build_study () =
+  let jobs = max 1 !jobs in
+  Printf.printf "building the 31-network study population (seed %d)...\n%!" master_seed;
+  let t0 = Rd_util.Timing.now () in
+  let nets_seq = Rd_study.Population.build ~jobs:1 ~master_seed () in
+  let seq_s = Rd_util.Timing.now () -. t0 in
+  let timing = Rd_util.Timing.create () in
+  let t1 = Rd_util.Timing.now () in
+  let nets = Rd_study.Population.build ~jobs ~timing ~master_seed () in
+  let par_s = Rd_util.Timing.now () -. t1 in
+  let summaries ns =
+    List.map (fun (n : Rd_study.Population.network) -> Rd_core.Analysis.summary n.analysis) ns
+  in
+  let identical = summaries nets_seq = summaries nets in
+  section "Study build: sequential vs parallel";
+  Rd_util.Table.print
+    ~headers:[ "build"; "jobs"; "wall (s)"; "speedup" ]
+    ~aligns:[ Rd_util.Table.Left; Rd_util.Table.Right; Rd_util.Table.Right; Rd_util.Table.Right ]
+    [
+      [ "sequential"; "1"; Printf.sprintf "%.2f" seq_s; "1.00x" ];
+      [ "parallel"; string_of_int jobs; Printf.sprintf "%.2f" par_s;
+        Printf.sprintf "%.2fx" (seq_s /. par_s) ];
+    ];
+  Printf.printf "cores available: %d; outputs byte-identical: %b\n"
+    (Domain.recommended_domain_count ()) identical;
+  if not identical then failwith "parallel study build diverged from sequential build";
+  section "Per-stage wall time (parallel build, summed across networks)";
+  print_string (Rd_util.Timing.render timing);
+  if !json_path <> "" then begin
+    let stages =
+      List.map
+        (fun (stage, s, n) ->
+          Rd_util.Json.Obj
+            [ ("name", Rd_util.Json.String stage); ("total_s", Rd_util.Json.Float s);
+              ("spans", Rd_util.Json.Int n) ])
+        (Rd_util.Timing.stages timing)
+    in
+    Rd_util.Json.to_file !json_path
+      (Rd_util.Json.Obj
+         [
+           ("seed", Rd_util.Json.Int master_seed);
+           ("jobs", Rd_util.Json.Int jobs);
+           ("cores", Rd_util.Json.Int (Domain.recommended_domain_count ()));
+           ("networks", Rd_util.Json.Int (List.length nets));
+           ("sequential_build_s", Rd_util.Json.Float seq_s);
+           ("parallel_build_s", Rd_util.Json.Float par_s);
+           ("speedup", Rd_util.Json.Float (seq_s /. par_s));
+           ("identical", Rd_util.Json.Bool identical);
+           ("stages", Rd_util.Json.List stages);
+         ]);
+    Printf.printf "json results written to %s\n" !json_path
+  end;
+  nets
 
 let run_experiments () =
   section "PART 1: PAPER EXPERIMENT REGENERATION";
-  Printf.printf "building the 31-network study population (seed %d)...\n%!" master_seed;
-  let t0 = Sys.time () in
-  let nets = Rd_study.Population.build ~master_seed () in
+  let nets = build_study () in
   let routers =
     List.fold_left (fun acc (n : Rd_study.Population.network) -> acc + n.spec.n) 0 nets
   in
-  Printf.printf "%d networks, %d routers analyzed in %.1fs cpu\n%!" (List.length nets) routers
-    (Sys.time () -. t0);
+  Printf.printf "%d networks, %d routers analyzed\n%!" (List.length nets) routers;
   let find id = List.find (fun (n : Rd_study.Population.network) -> n.spec.net_id = id) nets in
   let net5 = find 5 and net15 = find 15 in
   section "Figure 4";

@@ -277,11 +277,12 @@ let generate_cmd =
 (* --- study -------------------------------------------------------------- *)
 
 let study_cmd =
-  let run seed only =
+  let run seed only jobs timing =
+    let timer = if timing then Some (Rd_util.Timing.create ()) else None in
     let nets =
       match only with
-      | [] -> Rd_study.Population.build ~master_seed:seed ()
-      | ids -> Rd_study.Population.build ~only:ids ~master_seed:seed ()
+      | [] -> Rd_study.Population.build ?timing:timer ~jobs ~master_seed:seed ()
+      | ids -> Rd_study.Population.build ?timing:timer ~only:ids ~jobs ~master_seed:seed ()
     in
     List.iter
       (fun (n : Rd_study.Population.network) ->
@@ -294,14 +295,28 @@ let study_cmd =
       print_string (Rd_study.Experiments.table1 nets);
       print_string (Rd_study.Experiments.table3 nets);
       print_string (Rd_study.Experiments.fig11 nets)
-    end
+    end;
+    match timer with
+    | Some t ->
+      Printf.printf "--- pipeline stage wall time (%d jobs) ---\n" jobs;
+      print_string (Rd_util.Timing.render t)
+    | None -> ()
   in
   let seed_arg = Arg.(value & opt int 2004 & info [ "seed" ] ~docv:"SEED" ~doc:"Master seed.") in
   let only_arg =
     Arg.(value & opt (list int) [] & info [ "only" ] ~docv:"IDS" ~doc:"Comma-separated net ids.")
   in
+  let jobs_arg =
+    Arg.(value & opt int (Rd_util.Pool.default_jobs ())
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Worker domains for the parallel study build (default: \\$(b,RDNA_JOBS) or the \
+                   recommended domain count).")
+  in
+  let timing_arg =
+    Arg.(value & flag & info [ "timing" ] ~doc:"Report per-stage pipeline wall time.")
+  in
   Cmd.v (Cmd.info "study" ~doc:"Run the 31-network study (paper §5-§7).")
-    Term.(const run $ seed_arg $ only_arg)
+    Term.(const run $ seed_arg $ only_arg $ jobs_arg $ timing_arg)
 
 let () =
   let info = Cmd.info "rdna" ~version:"1.0.0" ~doc:"Routing design reverse engineering (SIGCOMM'04 reproduction)." in

@@ -8,16 +8,28 @@ type t = {
   filter_stats : Rd_policy.Filter_stats.placement;
 }
 
-let analyze_asts ~name configs =
-  let topo = Rd_topo.Topology.build configs in
-  let catalog = Rd_routing.Process.build topo in
-  let graph = Rd_routing.Instance_graph.build catalog in
-  let blocks = Rd_addrspace.Blocks.discover (Rd_addrspace.Blocks.subnets_of_configs configs) in
-  let filter_stats = Rd_policy.Filter_stats.analyze topo in
+let time timing stage f =
+  match timing with None -> f () | Some t -> Rd_util.Timing.span t stage f
+
+let analyze_asts ?timing ~name configs =
+  let topo = time timing "topology" (fun () -> Rd_topo.Topology.build configs) in
+  let catalog = time timing "catalog" (fun () -> Rd_routing.Process.build topo) in
+  let graph = time timing "instance-graph" (fun () -> Rd_routing.Instance_graph.build catalog) in
+  let blocks =
+    time timing "blocks" (fun () ->
+        Rd_addrspace.Blocks.discover (Rd_addrspace.Blocks.subnets_of_configs configs))
+  in
+  let filter_stats = time timing "filter-stats" (fun () -> Rd_policy.Filter_stats.analyze topo) in
   { name; configs; topo; catalog; graph; blocks; filter_stats }
 
-let analyze ~name files =
-  analyze_asts ~name (List.map (fun (f, text) -> (f, Rd_config.Parser.parse text)) files)
+let analyze ?timing ?jobs ~name files =
+  let asts =
+    time timing "parse" (fun () ->
+        Rd_util.Pool.parallel_map ?jobs
+          (fun (f, text) -> (f, Rd_config.Parser.parse text))
+          files)
+  in
+  analyze_asts ?timing ~name asts
 
 let router_count t = Array.length t.topo.routers
 

@@ -16,11 +16,15 @@ type t = {
   filter_stats : Rd_policy.Filter_stats.placement;
 }
 
-val analyze : name:string -> (string * string) list -> t
+val analyze : ?timing:Rd_util.Timing.t -> ?jobs:int -> name:string -> (string * string) list -> t
 (** [analyze ~name files] where [files] are (file name, raw configuration
-    text) pairs. *)
+    text) pairs.  Parsing fans out across [jobs] pool workers (default
+    {!Rd_util.Pool.default_jobs}; order-preserving, so the result is
+    identical to a sequential parse).  When [timing] is given, each
+    pipeline stage ([parse], [topology], [catalog], [instance-graph],
+    [blocks], [filter-stats]) charges its wall time to the recorder. *)
 
-val analyze_asts : name:string -> (string * Rd_config.Ast.t) list -> t
+val analyze_asts : ?timing:Rd_util.Timing.t -> name:string -> (string * Rd_config.Ast.t) list -> t
 (** Entry point when configurations are already parsed. *)
 
 val router_count : t -> int

@@ -96,13 +96,14 @@ let mgmt_instances ?p net d ~tries =
     mgmt_instance ?p net d
   done
 
-let blockable_ports = [ 135; 137; 139; 445; 1433; 1434; 161; 69; 514; 2049; 111; 512; 513 ]
-let blockable_protos = [ "pim"; "igmp"; "gre" ]
+let blockable_ports = [| 135; 137; 139; 445; 1433; 1434; 161; 69; 514; 2049; 111; 512; 513 |]
+let blockable_protos = [| "pim"; "igmp"; "gre" |]
+let well_known_ports = [| 80; 443; 22; 23; 25 |]
 
 let internal_filter net d ~name ?(clauses = 6) () =
   let rng = Builder.prng net in
   let mk_port_clause () =
-    let port = Rd_util.Prng.choice_list rng blockable_ports in
+    let port = Rd_util.Prng.choice rng blockable_ports in
     let proto = if Rd_util.Prng.bool rng then "tcp" else "udp" in
     {
       Ast.clause_action = Ast.Deny;
@@ -117,7 +118,7 @@ let internal_filter net d ~name ?(clauses = 6) () =
     {
       Ast.clause_action = Ast.Deny;
       src = Wildcard.any;
-      ip_proto = Some (Rd_util.Prng.choice_list rng blockable_protos);
+      ip_proto = Some (Rd_util.Prng.choice rng blockable_protos);
       dst = Some Wildcard.any;
       src_port = None;
       dst_port = None;
@@ -135,7 +136,7 @@ let internal_filter net d ~name ?(clauses = 6) () =
       ip_proto = Some "tcp";
       dst = Some Wildcard.any;
       src_port = None;
-      dst_port = Some (Ast.Port_eq (Rd_util.Prng.choice_list rng [ 80; 443; 22; 23; 25 ]));
+      dst_port = Some (Ast.Port_eq (Rd_util.Prng.choice rng well_known_ports));
     }
   in
   let body =

@@ -52,10 +52,11 @@ let generate p =
   done;
   (* Access routers dual-home to their POP's cores.  Each POP is its own
      OSPF area (area k+1); the POP cores are the area border routers. *)
+  let access_kinds = [| p.media; "ATM"; "ATM" |] in
   for i = 2 * pops to n - 1 do
     let k = pop_of i in
     let area = k + 1 in
-    let kind = Rd_util.Prng.choice_list rng [ p.media; "ATM"; "ATM" ] in
+    let kind = Rd_util.Prng.choice rng access_kinds in
     let s1, _, _ = Builder.link net ~kind core_a.(k) routers.(i) in
     cover ~area core_a.(k) s1;
     cover ~area routers.(i) s1;

@@ -17,6 +17,8 @@ type params = {
   ext_block : Prefix.t;
 }
 
+let edge_link_kinds = [| "ATM"; "ATM"; "GigabitEthernet"; "Serial" |]
+
 let generate p =
   let net = Builder.create ~seed:p.seed ~block:p.block ~ext_block:p.ext_block in
   let rng = Builder.prng net in
@@ -35,7 +37,7 @@ let generate p =
   done;
   for i = ncore to n - 1 do
     let parent = routers.(Rd_util.Prng.int rng i) in
-    let kind = Rd_util.Prng.choice_list rng [ "ATM"; "ATM"; "GigabitEthernet"; "Serial" ] in
+    let kind = Rd_util.Prng.choice rng edge_link_kinds in
     let s, _, _ = Builder.link net ~kind parent routers.(i) in
     cover parent s;
     cover routers.(i) s

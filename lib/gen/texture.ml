@@ -1,3 +1,5 @@
+let versions = [| "11.3"; "12.0"; "12.1"; "12.2"; "12.3" |]
+
 let token rng =
   let alphabet = "abcdefghijklmnopqrstuvwxyz0123456789" in
   String.init (6 + Rd_util.Prng.int rng 6) (fun _ ->
@@ -6,8 +8,7 @@ let token rng =
 let boilerplate rng ~hostname =
   let buf = Buffer.create 1024 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
-  let versions = [ "11.3"; "12.0"; "12.1"; "12.2"; "12.3" ] in
-  line "version %s" (Rd_util.Prng.choice_list rng versions);
+  line "version %s" (Rd_util.Prng.choice rng versions);
   line "service timestamps debug datetime msec";
   line "service timestamps log datetime msec";
   line "service password-encryption";

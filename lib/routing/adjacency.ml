@@ -33,29 +33,40 @@ let same_igp_instance_params (p : Process.t) (q : Process.t) =
 
 let igp_adjacencies (catalog : Process.catalog) =
   let topo = catalog.topo in
+  (* Per-process passive-interface lookup, hashed once instead of a
+     List.mem scan per endpoint pair. *)
+  let passive_ifaces =
+    Array.map
+      (fun (p : Process.t) ->
+        let tbl = Hashtbl.create (max 1 (List.length p.ast.passive_interfaces)) in
+        List.iter (fun name -> Hashtbl.replace tbl name ()) p.ast.passive_interfaces;
+        tbl)
+      catalog.processes
+  in
+  let covering_procs (endpoint : Rd_topo.Topology.iface) =
+    match endpoint.address with
+    | None -> []
+    | Some (a, _) ->
+      List.filter_map
+        (fun pid ->
+          let p = catalog.processes.(pid) in
+          (* a passive interface advertises its subnet but forms no
+             adjacency *)
+          let passive = Hashtbl.mem passive_ifaces.(pid) endpoint.name in
+          if p.protocol <> Ast.Bgp && (not passive) && Process.covers p a then Some (p, a)
+          else None)
+        catalog.by_router.(endpoint.router)
+  in
   let acc = ref [] in
   List.iter
     (fun (link : Rd_topo.Topology.link) ->
-      let covering_procs (endpoint : Rd_topo.Topology.iface) =
-        match endpoint.address with
-        | None -> []
-        | Some (a, _) ->
-          List.filter_map
-            (fun pid ->
-              let p = catalog.processes.(pid) in
-              (* a passive interface advertises its subnet but forms no
-                 adjacency *)
-              let passive = List.mem endpoint.name p.ast.passive_interfaces in
-              if p.protocol <> Ast.Bgp && (not passive) && Process.covers p a then Some (p, a)
-              else None)
-            catalog.by_router.(endpoint.router)
-      in
-      let ends = link.endpoints in
+      (* covering processes once per endpoint, not once per pair *)
+      let ends = List.map (fun e -> (e, covering_procs e)) link.endpoints in
       let rec pairs = function
         | [] -> ()
-        | (e1 : Rd_topo.Topology.iface) :: rest ->
+        | ((e1 : Rd_topo.Topology.iface), covs1) :: rest ->
           List.iter
-            (fun (e2 : Rd_topo.Topology.iface) ->
+            (fun ((e2 : Rd_topo.Topology.iface), covs2) ->
               if e1.router <> e2.router then
                 List.iter
                   (fun ((p, pa) : Process.t * Ipv4.t) ->
@@ -70,8 +81,8 @@ let igp_adjacencies (catalog : Process.catalog) =
                           if area_ok then
                             acc := mk p.pid q.pid (Igp link.subnet_of_link) :: !acc
                         end)
-                      (covering_procs e2))
-                  (covering_procs e1))
+                      covs2)
+                  covs1)
             rest;
           pairs rest
       in

@@ -27,12 +27,18 @@ val generate_one : spec -> (string * string) list
 
 type network = { spec : spec; analysis : Rd_core.Analysis.t }
 
-val build_network : spec -> network
-(** Generate, render to text, re-parse, analyze. *)
+val build_network : ?timing:Rd_util.Timing.t -> ?jobs:int -> spec -> network
+(** Generate, render to text, re-parse, analyze.  [timing] additionally
+    records a [generate] stage ahead of the analysis stages. *)
 
-val build : ?only:int list -> master_seed:int -> unit -> network list
+val build :
+  ?only:int list -> ?timing:Rd_util.Timing.t -> ?jobs:int -> master_seed:int -> unit -> network list
 (** Build the population (or the networks whose ids are in [only]).
-    Each network flows through the full text pipeline. *)
+    Each network flows through the full text pipeline.  Networks build
+    in parallel on [jobs] pool workers (default
+    {!Rd_util.Pool.default_jobs}); because every network is seeded from
+    its own spec, the result is byte-identical to a sequential
+    ([jobs = 1]) build, in net-id order. *)
 
 val repository_sizes : master_seed:int -> count:int -> int list
 (** Synthetic sizes for the 2,400-network repository of Figure 8 (heavy-

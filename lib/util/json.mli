@@ -1,0 +1,22 @@
+(** Minimal hand-rolled JSON emission (no parsing, no dependencies).
+
+    Used for machine-readable benchmark output.  Strings are escaped
+    per RFC 8259; non-finite floats are emitted as [null] since JSON
+    cannot represent them. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+
+val to_channel : out_channel -> t -> unit
+(** Writes the value followed by a newline. *)
+
+val to_file : string -> t -> unit
+(** Writes (truncating) to [path], value followed by a newline. *)

@@ -1,0 +1,144 @@
+(* Fixed-size domain worker pool.
+
+   Tasks are closures pushed onto a mutex/condition-protected queue;
+   [jobs] worker domains pop and run them.  [mapi] fans a list out in
+   index chunks and reassembles results in input order, so parallel maps
+   are observably identical to [List.mapi].  Worker domains mark
+   themselves via a DLS flag; a parallel map issued from inside a worker
+   runs sequentially instead of deadlocking on pool capacity. *)
+
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  work_available : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable closed : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let in_worker_key : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let in_worker () = Domain.DLS.get in_worker_key
+
+let default_jobs () =
+  match Sys.getenv_opt "RDNA_JOBS" with
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some n when n >= 1 -> n
+     | _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let jobs t = t.size
+
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.queue && not t.closed do
+    Condition.wait t.work_available t.mutex
+  done;
+  if Queue.is_empty t.queue then Mutex.unlock t.mutex
+  else begin
+    let task = Queue.pop t.queue in
+    Mutex.unlock t.mutex;
+    task ();
+    worker_loop t
+  end
+
+let create ?jobs () =
+  let size = max 1 (match jobs with Some j -> j | None -> default_jobs ()) in
+  let t =
+    {
+      size;
+      mutex = Mutex.create ();
+      work_available = Condition.create ();
+      queue = Queue.create ();
+      closed = false;
+      domains = [];
+    }
+  in
+  t.domains <-
+    List.init size (fun _ ->
+        Domain.spawn (fun () ->
+            Domain.DLS.set in_worker_key true;
+            worker_loop t));
+  t
+
+let submit t task =
+  Mutex.lock t.mutex;
+  if t.closed then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.push task t.queue;
+  Condition.signal t.work_available;
+  Mutex.unlock t.mutex
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.closed <- true;
+  Condition.broadcast t.work_available;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.domains;
+  t.domains <- []
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* Tasks never outlive [mapi]: every chunk decrements [remaining] under
+   [m] even when the user function raises, and the caller sleeps on
+   [all_done] until the count drains.  The first exception (with its
+   backtrace) wins; later chunks see it and skip their work. *)
+let mapi t f l =
+  let n = List.length l in
+  if n = 0 then []
+  else if t.size <= 1 || n = 1 || in_worker () then List.mapi f l
+  else begin
+    let input = Array.of_list l in
+    let results = Array.make n None in
+    let m = Mutex.create () in
+    let all_done = Condition.create () in
+    let chunk = max 1 ((n + (t.size * 4) - 1) / (t.size * 4)) in
+    let nchunks = (n + chunk - 1) / chunk in
+    let remaining = ref nchunks in
+    let error = ref None in
+    let rec enqueue start =
+      if start < n then begin
+        let stop = min n (start + chunk) in
+        submit t (fun () ->
+            let poisoned = Mutex.protect m (fun () -> !error <> None) in
+            (try
+               if not poisoned then
+                 for i = start to stop - 1 do
+                   results.(i) <- Some (f i input.(i))
+                 done
+             with e ->
+               let bt = Printexc.get_raw_backtrace () in
+               Mutex.protect m (fun () ->
+                   if !error = None then error := Some (e, bt)));
+            Mutex.lock m;
+            decr remaining;
+            if !remaining = 0 then Condition.signal all_done;
+            Mutex.unlock m);
+        enqueue stop
+      end
+    in
+    enqueue 0;
+    Mutex.lock m;
+    while !remaining > 0 do
+      Condition.wait all_done m
+    done;
+    Mutex.unlock m;
+    (match !error with
+     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+     | None -> ());
+    Array.to_list (Array.map Option.get results)
+  end
+
+let map t f l = mapi t (fun _ x -> f x) l
+
+let parallel_mapi ?jobs f l =
+  let size = max 1 (match jobs with Some j -> j | None -> default_jobs ()) in
+  if size <= 1 || List.length l <= 1 || in_worker () then List.mapi f l
+  else with_pool ~jobs:size (fun t -> mapi t f l)
+
+let parallel_map ?jobs f l = parallel_mapi ?jobs (fun _ x -> f x) l

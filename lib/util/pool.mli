@@ -1,0 +1,56 @@
+(** Fixed-size OCaml 5 domain worker pool.
+
+    A pool owns [jobs] worker domains that pop closures off a
+    mutex/condition task queue.  The map combinators chunk the input by
+    index and write results into a shared array, so output order always
+    matches input order and a parallel map is observably identical to
+    its sequential counterpart — only wall-clock changes.  The first
+    exception raised by the mapped function is re-raised (with its
+    backtrace) in the calling domain.
+
+    Worker domains are flagged via domain-local storage: a parallel map
+    issued from inside a pool task runs sequentially rather than
+    deadlocking on pool capacity, so nested parallelism degrades
+    gracefully. *)
+
+type t
+(** A running pool of worker domains. *)
+
+val default_jobs : unit -> int
+(** The [RDNA_JOBS] environment variable if set to a positive integer,
+    otherwise [Domain.recommended_domain_count ()]. *)
+
+val in_worker : unit -> bool
+(** [true] when called from inside a pool worker domain. *)
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] spawns [max 1 jobs] worker domains
+    (default {!default_jobs}). *)
+
+val jobs : t -> int
+(** Number of worker domains. *)
+
+val submit : t -> (unit -> unit) -> unit
+(** Enqueue a task.  Tasks must not raise (the map combinators wrap
+    user functions; a raising raw task is silently dropped with its
+    worker).  Raises [Invalid_argument] after {!shutdown}. *)
+
+val shutdown : t -> unit
+(** Drain the queue, stop and join all workers.  Idempotent. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] with a fresh pool and always shuts it down. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel map on an existing pool.  Falls back to
+    [List.map] when the pool has one worker, the list has at most one
+    element, or the caller is itself a pool worker. *)
+
+val mapi : t -> (int -> 'a -> 'b) -> 'a list -> 'b list
+
+val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** One-shot convenience: create a pool, {!map}, shut down.  [~jobs:1]
+    (or a singleton/empty list, or a nested call) short-circuits to
+    [List.map] without spawning any domain. *)
+
+val parallel_mapi : ?jobs:int -> (int -> 'a -> 'b) -> 'a list -> 'b list

@@ -51,10 +51,16 @@ let choice t a =
   assert (Array.length a > 0);
   a.(int t (Array.length a))
 
+(* Single traversal (Array.of_list) instead of List.length + List.nth;
+   the PRNG draw is unchanged so streams stay bit-identical.  Hot loops
+   that draw repeatedly from a fixed set should hoist an array and use
+   [choice]. *)
 let choice_list t l =
   match l with
   | [] -> invalid_arg "Prng.choice_list: empty list"
-  | _ -> List.nth l (int t (List.length l))
+  | _ ->
+    let a = Array.of_list l in
+    a.(int t (Array.length a))
 
 let weighted t choices =
   let total = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 choices in

@@ -1,0 +1,61 @@
+(* Wall-clock stage timing.
+
+   A recorder accumulates (total seconds, span count) per named stage
+   behind a mutex, so spans from concurrent pool workers interleave
+   safely.  Stages render in first-seen order. *)
+
+type cell = { mutable total : float; mutable count : int }
+
+type t = {
+  mutex : Mutex.t;
+  cells : (string, cell) Hashtbl.t;
+  mutable order : string list; (* reverse first-seen order *)
+}
+
+let create () = { mutex = Mutex.create (); cells = Hashtbl.create 16; order = [] }
+
+let now () = Unix.gettimeofday ()
+
+let add t stage seconds =
+  Mutex.protect t.mutex (fun () ->
+      match Hashtbl.find_opt t.cells stage with
+      | Some c ->
+        c.total <- c.total +. seconds;
+        c.count <- c.count + 1
+      | None ->
+        Hashtbl.add t.cells stage { total = seconds; count = 1 };
+        t.order <- stage :: t.order)
+
+let span t stage f =
+  let t0 = now () in
+  Fun.protect ~finally:(fun () -> add t stage (now () -. t0)) f
+
+let stages t =
+  Mutex.protect t.mutex (fun () ->
+      List.rev_map
+        (fun stage ->
+          let c = Hashtbl.find t.cells stage in
+          (stage, c.total, c.count))
+        t.order)
+
+let total t = List.fold_left (fun acc (_, s, _) -> acc +. s) 0.0 (stages t)
+
+let reset t =
+  Mutex.protect t.mutex (fun () ->
+      Hashtbl.reset t.cells;
+      t.order <- [])
+
+let render t =
+  match stages t with
+  | [] -> "(no stages recorded)\n"
+  | sts ->
+    let rows =
+      List.map
+        (fun (stage, s, n) ->
+          [ stage; Printf.sprintf "%.3f" s; string_of_int n ])
+        sts
+      @ [ [ "total"; Printf.sprintf "%.3f" (total t); "" ] ]
+    in
+    Table.render ~headers:[ "stage"; "seconds"; "spans" ]
+      ~aligns:[ Table.Left; Table.Right; Table.Right ]
+      rows

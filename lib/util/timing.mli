@@ -1,0 +1,32 @@
+(** Per-stage wall-clock instrumentation.
+
+    A recorder accumulates elapsed seconds and span counts per stage
+    name.  All operations are domain-safe (mutex-protected), so pipeline
+    stages running on pool workers can share one recorder.  Stage order
+    in {!stages} and {!render} is first-seen order. *)
+
+type t
+(** A mutable, domain-safe stage recorder. *)
+
+val create : unit -> t
+
+val now : unit -> float
+(** Current wall-clock time in seconds ([Unix.gettimeofday]). *)
+
+val span : t -> string -> (unit -> 'a) -> 'a
+(** [span t stage f] runs [f], charging its elapsed wall time to
+    [stage] even when [f] raises. *)
+
+val add : t -> string -> float -> unit
+(** Charge [seconds] to [stage] directly (one span). *)
+
+val stages : t -> (string * float * int) list
+(** [(stage, total seconds, span count)] in first-seen order. *)
+
+val total : t -> float
+(** Sum of all stage totals. *)
+
+val reset : t -> unit
+
+val render : t -> string
+(** Human-readable stage table. *)

@@ -157,6 +157,27 @@ let test_full_study () =
   check_bool "ablation external" true
     (String.length (Rd_study.Experiments.ablation_external [ net5 ]) > 0)
 
+let test_parallel_build_deterministic () =
+  (* the domain-pool build must be byte-identical to the sequential one:
+     same networks, same order, same analysis summaries *)
+  let subset = [ 1; 4; 8; 10; 12 ] in
+  let seq = Rd_study.Population.build ~only:subset ~jobs:1 ~master_seed:seed () in
+  let par = Rd_study.Population.build ~only:subset ~jobs:4 ~master_seed:seed () in
+  check_int "same count" (List.length seq) (List.length par);
+  List.iter2
+    (fun (a : Rd_study.Population.network) (b : Rd_study.Population.network) ->
+      check_int "net order" a.spec.net_id b.spec.net_id;
+      Alcotest.(check string)
+        (Printf.sprintf "net%d summary identical" a.spec.net_id)
+        (Rd_core.Analysis.summary a.analysis)
+        (Rd_core.Analysis.summary b.analysis))
+    seq par;
+  (* experiment tables built from both populations agree *)
+  Alcotest.(check string) "table1 identical" (Rd_study.Experiments.table1 seq)
+    (Rd_study.Experiments.table1 par);
+  Alcotest.(check string) "fig11 identical" (Rd_study.Experiments.fig11 seq)
+    (Rd_study.Experiments.fig11 par)
+
 let test_study_deterministic () =
   (* the same master seed regenerates identical configuration text *)
   let spec = List.find (fun (s : Rd_study.Population.spec) -> s.net_id = 13) specs in
@@ -202,6 +223,7 @@ let () =
       ( "full study",
         [
           Alcotest.test_case "paper invariants" `Slow test_full_study;
+          Alcotest.test_case "parallel build determinism" `Quick test_parallel_build_deterministic;
           Alcotest.test_case "determinism" `Quick test_study_deterministic;
           Alcotest.test_case "scorecard" `Slow test_scorecard;
         ] );

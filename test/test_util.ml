@@ -82,6 +82,121 @@ let test_prng_pareto () =
     check_bool "pareto >= xmin" true (Prng.pareto_int rng ~alpha:1.2 ~xmin:3 >= 3)
   done
 
+(* --------------------------------------------------------------- Pool --- *)
+
+let test_pool_order_preserved () =
+  let input = List.init 100 (fun i -> i) in
+  let out = Pool.parallel_map ~jobs:4 (fun x -> x * x) input in
+  Alcotest.(check (list int)) "squares in order" (List.map (fun x -> x * x) input) out;
+  let outi = Pool.parallel_mapi ~jobs:4 (fun i x -> i + x) input in
+  Alcotest.(check (list int)) "mapi indices line up" (List.mapi (fun i x -> i + x) input) outi
+
+let test_pool_jobs1_equivalence () =
+  let input = List.init 37 (fun i -> i) in
+  let f x = (x * 7) mod 11 in
+  Alcotest.(check (list int)) "jobs=1 = List.map" (List.map f input)
+    (Pool.parallel_map ~jobs:1 f input);
+  Alcotest.(check (list int)) "jobs=4 = List.map" (List.map f input)
+    (Pool.parallel_map ~jobs:4 f input);
+  Alcotest.(check (list int)) "empty list" [] (Pool.parallel_map ~jobs:4 f []);
+  Alcotest.(check (list int)) "singleton" [ f 9 ] (Pool.parallel_map ~jobs:4 f [ 9 ])
+
+let test_pool_exception_propagation () =
+  let boom x = if x = 13 then failwith "boom13" else x in
+  Alcotest.check_raises "exception crosses domains" (Failure "boom13") (fun () ->
+      ignore (Pool.parallel_map ~jobs:4 boom (List.init 50 (fun i -> i))));
+  (* the pool survives the failure path and later maps still work *)
+  check_int "pool usable after error" 10
+    (List.length (Pool.parallel_map ~jobs:4 (fun x -> x) (List.init 10 (fun i -> i))))
+
+let test_pool_nested_fallback () =
+  check_bool "caller is not a worker" false (Pool.in_worker ());
+  let out =
+    Pool.parallel_map ~jobs:2
+      (fun x ->
+        (* inner map runs sequentially inside a worker instead of
+           deadlocking; in_worker is visible to the task *)
+        let inner = Pool.parallel_map ~jobs:2 (fun y -> y + x) [ 1; 2; 3 ] in
+        (Pool.in_worker (), inner))
+      [ 10; 20 ]
+  in
+  Alcotest.(check (list (pair bool (list int))))
+    "nested maps correct"
+    [ (true, [ 11; 12; 13 ]); (true, [ 21; 22; 23 ]) ]
+    out
+
+let test_pool_persistent () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      check_int "pool size" 3 (Pool.jobs pool);
+      let a = Pool.map pool (fun x -> x + 1) [ 1; 2; 3 ] in
+      let b = Pool.mapi pool (fun i x -> i * x) [ 4; 5; 6 ] in
+      Alcotest.(check (list int)) "map" [ 2; 3; 4 ] a;
+      Alcotest.(check (list int)) "mapi" [ 0; 5; 12 ] b)
+
+let test_pool_default_jobs_env () =
+  let saved = Sys.getenv_opt "RDNA_JOBS" in
+  Unix.putenv "RDNA_JOBS" "3";
+  check_int "RDNA_JOBS honoured" 3 (Pool.default_jobs ());
+  Unix.putenv "RDNA_JOBS" "not-a-number";
+  check_bool "garbage falls back to cores" true (Pool.default_jobs () >= 1);
+  Unix.putenv "RDNA_JOBS" (match saved with Some s -> s | None -> "")
+
+(* ------------------------------------------------------------- Timing --- *)
+
+let test_timing_accumulates () =
+  let t = Timing.create () in
+  check_int "42" 42 (Timing.span t "stage-a" (fun () -> 42));
+  ignore (Timing.span t "stage-a" (fun () -> 1));
+  ignore (Timing.span t "stage-b" (fun () -> 2));
+  Timing.add t "stage-b" 1.5;
+  (match Timing.stages t with
+   | [ ("stage-a", a_total, 2); ("stage-b", b_total, 2) ] ->
+     check_bool "a total nonnegative" true (a_total >= 0.0);
+     check_bool "b includes manual add" true (b_total >= 1.5)
+   | sts -> Alcotest.failf "unexpected stages: %d entries" (List.length sts));
+  check_bool "total sums" true (Timing.total t >= 1.5);
+  check_bool "render has stages" true (String.length (Timing.render t) > 0);
+  Timing.reset t;
+  check_int "reset clears" 0 (List.length (Timing.stages t))
+
+let test_timing_exception_safe () =
+  let t = Timing.create () in
+  (try ignore (Timing.span t "raising" (fun () -> failwith "x")) with Failure _ -> ());
+  match Timing.stages t with
+  | [ ("raising", _, 1) ] -> ()
+  | _ -> Alcotest.fail "span not recorded on exception"
+
+let test_timing_domain_safe () =
+  let t = Timing.create () in
+  ignore
+    (Pool.parallel_map ~jobs:4
+       (fun i -> Timing.span t "work" (fun () -> i))
+       (List.init 64 (fun i -> i)));
+  match Timing.stages t with
+  | [ ("work", _, 64) ] -> ()
+  | _ -> Alcotest.fail "concurrent spans lost"
+
+(* --------------------------------------------------------------- Json --- *)
+
+let test_json_render () =
+  check_string "scalars" "[null, true, false, 3, -1]"
+    (Json.to_string (Json.List [ Json.Null; Json.Bool true; Json.Bool false; Json.Int 3; Json.Int (-1) ]));
+  check_string "object" "{\"a\": 1, \"b\": [2.5]}"
+    (Json.to_string (Json.Obj [ ("a", Json.Int 1); ("b", Json.List [ Json.Float 2.5 ]) ]));
+  check_string "escaping" "\"a\\\"b\\\\c\\n\\t\\u0001\""
+    (Json.to_string (Json.String "a\"b\\c\n\t\001"));
+  check_string "nan is null" "null" (Json.to_string (Json.Float Float.nan));
+  check_string "inf is null" "null" (Json.to_string (Json.Float Float.infinity))
+
+let test_json_file () =
+  let path = Filename.temp_file "rdna_json" ".json" in
+  Json.to_file path (Json.Obj [ ("x", Json.Int 7) ]);
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  check_string "file contents" "{\"x\": 7}" line
+
 (* --------------------------------------------------------------- Sha1 --- *)
 
 (* RFC 3174 test vectors *)
@@ -363,6 +478,26 @@ let () =
           Alcotest.test_case "helpers" `Quick test_prng_helpers;
           Alcotest.test_case "shuffle is permutation" `Quick test_prng_shuffle_permutation;
           Alcotest.test_case "pareto" `Quick test_prng_pareto;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "order preserved" `Quick test_pool_order_preserved;
+          Alcotest.test_case "jobs=1 and jobs=4 equivalence" `Quick test_pool_jobs1_equivalence;
+          Alcotest.test_case "exception propagation" `Quick test_pool_exception_propagation;
+          Alcotest.test_case "nested fallback" `Quick test_pool_nested_fallback;
+          Alcotest.test_case "persistent pool" `Quick test_pool_persistent;
+          Alcotest.test_case "RDNA_JOBS env" `Quick test_pool_default_jobs_env;
+        ] );
+      ( "timing",
+        [
+          Alcotest.test_case "accumulation" `Quick test_timing_accumulates;
+          Alcotest.test_case "exception safety" `Quick test_timing_exception_safe;
+          Alcotest.test_case "domain safety" `Quick test_timing_domain_safe;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "rendering" `Quick test_json_render;
+          Alcotest.test_case "file output" `Quick test_json_file;
         ] );
       ( "sha1",
         [
