@@ -30,18 +30,59 @@ let dir_arg =
 (* --- parse -------------------------------------------------------------- *)
 
 let parse_cmd =
-  let run dir =
+  let run dir strict =
+    let errors = ref 0 in
     List.iter
       (fun (name, text) ->
-        let c = Rd_config.Parser.parse text in
+        let c, diags = Rd_config.Parser.parse_with_diags ~file:name text in
+        let e, w, _ = Rd_config.Diag.counts diags in
+        errors := !errors + e;
         Printf.printf "%s: %d lines, %d commands, %d interfaces, %d processes, %d acls, %d route-maps, %d statics, %d unknown\n"
           name c.total_lines c.command_count (List.length c.interfaces)
           (List.length c.processes) (List.length c.acls) (List.length c.route_maps)
-          (List.length c.statics) (List.length c.unknown))
-      (load_dir dir)
+          (List.length c.statics) (List.length c.unknown);
+        if strict && (e > 0 || w > 0) then
+          List.iter (fun d -> print_endline ("  " ^ Rd_config.Diag.to_string d)) diags)
+      (load_dir dir);
+    if strict && !errors > 0 then begin
+      Printf.eprintf "%d parse errors\n" !errors;
+      exit 1
+    end
+  in
+  let strict_arg =
+    Arg.(value & flag
+         & info [ "strict" ]
+             ~doc:"Print parse diagnostics and exit non-zero if any line of a modeled command \
+                   was malformed (error-severity diagnostics).")
   in
   Cmd.v (Cmd.info "parse" ~doc:"Parse configuration files and report per-file statistics.")
-    Term.(const run $ dir_arg)
+    Term.(const run $ dir_arg $ strict_arg)
+
+(* --- lint --------------------------------------------------------------- *)
+
+let lint_cmd =
+  let run dir json jobs =
+    let diags = Rd_core.Lint.lint_files ~jobs (load_dir dir) in
+    if json then print_endline (Rd_util.Json.to_string (Rd_core.Lint.to_json diags))
+    else begin
+      print_string (Rd_core.Lint.render diags);
+      let e, w, i = Rd_config.Diag.counts diags in
+      if e + w + i > 0 then Printf.printf "%d errors, %d warnings, %d notes\n" e w i
+    end;
+    if Rd_config.Diag.has_errors diags then exit 1
+  in
+  let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"Emit diagnostics as a JSON array.") in
+  let jobs_arg =
+    Arg.(value & opt int (Rd_util.Pool.default_jobs ())
+         & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Worker domains for parallel linting.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Static checks on configuration files: parse diagnostics plus cross-reference and \
+             consistency rules (dangling/unused/duplicate ACLs and route-maps, BGP neighbors \
+             without remote-as, OSPF redistribution without metric, overlapping interface \
+             addresses).  Exits non-zero if any error-severity finding is reported.")
+    Term.(const run $ dir_arg $ json_arg $ jobs_arg)
 
 (* --- anonymize ---------------------------------------------------------- *)
 
@@ -324,7 +365,7 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            parse_cmd; anonymize_cmd; summary_cmd; instances_cmd; processes_cmd; areas_cmd;
+            parse_cmd; lint_cmd; anonymize_cmd; summary_cmd; instances_cmd; processes_cmd; areas_cmd;
             roles_cmd; pathway_cmd; reach_cmd; dot_cmd; audit_cmd; inventory_cmd; whatif_cmd;
             generate_cmd; study_cmd;
           ]))

@@ -16,12 +16,18 @@ let of_octets a b c d =
 let octets x = ((x lsr 24) land 0xFF, (x lsr 16) land 0xFF, (x lsr 8) land 0xFF, x land 0xFF)
 
 let of_string s =
-  (* Hand-rolled parse: strict dotted quad, no leading/trailing junk. *)
+  (* Hand-rolled parse: strict dotted quad, no leading/trailing junk, no
+     leading-zero octets ("010.0.0.1" is rejected — historically such
+     octets were read as octal, so accepting them silently would assign
+     the wrong address). *)
   let n = String.length s in
   let rec octet i acc digits =
     if i < n && s.[i] >= '0' && s.[i] <= '9' then begin
-      let acc = (acc * 10) + (Char.code s.[i] - Char.code '0') in
-      if acc > 255 || digits >= 3 then None else octet (i + 1) acc (digits + 1)
+      if digits >= 1 && acc = 0 then None
+      else begin
+        let acc = (acc * 10) + (Char.code s.[i] - Char.code '0') in
+        if acc > 255 || digits >= 3 then None else octet (i + 1) acc (digits + 1)
+      end
     end
     else if digits = 0 then None
     else Some (acc, i)

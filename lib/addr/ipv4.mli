@@ -19,7 +19,9 @@ val of_octets : int -> int -> int -> int -> t
 val octets : t -> int * int * int * int
 
 val of_string : string -> t option
-(** Parse dotted-quad notation.  [None] on malformed input. *)
+(** Parse strict dotted-quad notation.  [None] on malformed input,
+    including leading-zero octets such as ["010.0.0.1"] (ambiguous:
+    historically read as octal). *)
 
 val of_string_exn : string -> t
 (** Like {!of_string} but raises [Invalid_argument]. *)

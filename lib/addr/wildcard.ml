@@ -26,6 +26,43 @@ let to_prefix t =
     Some (Prefix.make t.base (32 - bits w 0))
   end
 
+let to_prefixes ?(max_bits = 12) t =
+  match to_prefix t with
+  | Some p -> ([ p ], true)
+  | None ->
+    let w = Ipv4.to_int t.wild and b = Ipv4.to_int t.base in
+    (* Bit positions here count from the low end.  The contiguous run of
+       wild bits at the bottom folds into the prefix length; every wild
+       bit above it must be enumerated. *)
+    let rec run k = if k < 32 && (w lsr k) land 1 = 1 then run (k + 1) else k in
+    let contiguous = run 0 in
+    let scattered =
+      List.filter (fun i -> (w lsr i) land 1 = 1)
+        (List.init (32 - contiguous) (fun i -> i + contiguous))
+    in
+    if List.length scattered > max_bits then begin
+      (* Over-approximate with the smallest contiguous wildcard covering
+         every wild bit: wildcard everything up to the highest wild bit. *)
+      let rec high i = if (w lsr i) land 1 = 1 then i else high (i - 1) in
+      ([ Prefix.make t.base (31 - high 31) ], false)
+    end
+    else begin
+      let len = 32 - contiguous in
+      let m = List.length scattered in
+      let prefixes =
+        List.init (1 lsl m) (fun combo ->
+            let addr =
+              List.fold_left
+                (fun (acc, bit) pos ->
+                  ((if combo land (1 lsl bit) <> 0 then acc lor (1 lsl pos) else acc), bit + 1))
+                (b, 0) scattered
+              |> fst
+            in
+            Prefix.make (Ipv4.of_int addr) len)
+      in
+      (prefixes, true)
+    end
+
 let matches_prefix t p =
   (* All addresses of p match iff the fixed (non-wildcard) bits of the
      wildcard are inside p's network part and agree with p's bits. *)

@@ -8,6 +8,11 @@ let create ~key = { key; token_cache = Hashtbl.create 256 }
 (* --- dictionary -------------------------------------------------------- *)
 
 let dictionary_words =
+  (* Every keyword the parser recognizes must survive anonymization
+     unchanged, or the anonymized file parses to a different AST shape
+     (hashed command heads become unknown lines, hashed sub-keywords lose
+     modeled state).  This list therefore covers the full keyword surface
+     of {!Parser}, including administrivia heads it accepts-and-ignores. *)
   [
     (* structural commands *)
     "hostname"; "interface"; "router"; "ip"; "no"; "access-list"; "access-group";
@@ -18,6 +23,8 @@ let dictionary_words =
     "secondary"; "shutdown"; "point-to-point"; "update-source"; "next-hop-self";
     "route-reflector-client"; "description"; "standard"; "extended"; "version";
     "auto-summary"; "synchronization"; "log-adjacency-changes"; "classless";
+    "prefix-list"; "seq"; "le"; "ge"; "aggregate-address"; "summary-only";
+    "access-class";
     (* protocols *)
     "ospf"; "eigrp"; "igrp"; "rip"; "bgp"; "isis"; "connected"; "static";
     (* ACL words *)
@@ -28,6 +35,14 @@ let dictionary_words =
     "keepalive"; "cdp"; "enable"; "duplex"; "speed"; "full"; "half"; "auto";
     "service"; "end"; "line"; "snmp-server"; "ntp"; "logging"; "banner"; "clock";
     "in"; "out";
+    (* accepted-and-ignored administrivia heads *)
+    "aaa"; "controller"; "class-map"; "policy-map"; "vrf"; "key"; "username";
+    "alias"; "boot"; "memory-size"; "scheduler"; "spanning-tree"; "vtp";
+    "tacacs-server"; "radius-server"; "exception"; "privilege"; "prompt";
+    "hostname-prefix"; "mpls"; "card"; "redundancy"; "dial-peer"; "voice";
+    (* accepted "ip <sub>" administrivia *)
+    "domain-name"; "name-server"; "subnet-zero"; "cef"; "http"; "finger";
+    "source-route"; "ssh"; "ftp"; "bootp";
   ]
 
 let interface_kinds =
@@ -122,40 +137,68 @@ let anonymize_line t prev_words words =
         | Some a when not (is_mask_like a) -> Ipv4.to_string (anonymize_addr t a)
         | Some _ -> tok
         | None ->
-          if is_integer tok then begin
-            let as_context =
-              match prev with
-              | "remote-as" :: _ -> true
-              | "bgp" :: "router" :: _ -> true
-              | "bgp" :: "redistribute" :: _ -> true
-              | _ -> false
-            in
-            if as_context then begin
-              (* a digits-only token can still overflow int *)
-              match int_of_string_opt tok with
-              | Some v -> string_of_int (anonymize_as t v)
-              | None -> tok
-            end
-            else tok
-          end
-          else if in_dictionary tok then tok
-          else anonymize_token t tok
+          (* CIDR tokens (prefix-list entries, aggregates): anonymize the
+             address part, keep the length *)
+          (match String.index_opt tok '/' with
+           | Some i
+             when Ipv4.of_string (String.sub tok 0 i) <> None
+                  && is_integer (String.sub tok (i + 1) (String.length tok - i - 1)) ->
+             let a = Ipv4.of_string_exn (String.sub tok 0 i) in
+             Ipv4.to_string (anonymize_addr t a)
+             ^ String.sub tok i (String.length tok - i)
+           | _ ->
+             if is_integer tok then begin
+               let as_context =
+                 match prev with
+                 | "remote-as" :: _ -> true
+                 | "bgp" :: "router" :: _ -> true
+                 | "bgp" :: "redistribute" :: _ -> true
+                 | _ -> false
+               in
+               if as_context then begin
+                 (* a digits-only token can still overflow int *)
+                 match int_of_string_opt tok with
+                 | Some v -> string_of_int (anonymize_as t v)
+                 | None -> tok
+               end
+               else tok
+             end
+             else if in_dictionary tok then tok
+             else anonymize_token t tok)
       in
       go (anon :: acc) (tok :: prev) rest
   in
   go [] prev_words words
 
+let leading_whitespace s =
+  let n = String.length s in
+  let rec go i = if i < n && (s.[i] = ' ' || s.[i] = '\t') then go (i + 1) else i in
+  String.sub s 0 (go 0)
+
+let split_words s =
+  (* Tabs separate words exactly as the lexer's tokenizer does; a tab
+     left inside a "word" would make a dictionary keyword hash. *)
+  List.filter (fun w -> w <> "")
+    (String.split_on_char ' ' (String.map (fun c -> if c = '\t' then ' ' else c) s))
+
 let anonymize_config t text =
   let lines = String.split_on_char '\n' text in
   let out = Buffer.create (String.length text) in
-  List.iter
-    (fun line ->
+  (* Joining with '\n' exactly inverts the split, so the output has the
+     same line count and the same presence/absence of a trailing newline
+     as the input — no heuristic needed. *)
+  List.iteri
+    (fun idx line ->
+      if idx > 0 then Buffer.add_char out '\n';
       let trimmed = String.trim line in
-      if trimmed = "" then Buffer.add_char out '\n'
-      else if trimmed.[0] = '!' then Buffer.add_string out "!\n" (* comment text removed *)
+      if trimmed = "" then Buffer.add_string out line
+      else if trimmed.[0] = '!' then begin
+        (* comment text removed, separator structure kept *)
+        Buffer.add_string out (leading_whitespace line);
+        Buffer.add_char out '!'
+      end
       else begin
-        let indent = if line.[0] = ' ' then 1 else 0 in
-        let words = List.filter (fun w -> w <> "") (String.split_on_char ' ' trimmed) in
+        let words = split_words trimmed in
         (* description arguments are free text: drop them entirely after
            hashing to a single token, they carry only identity. *)
         let words =
@@ -166,14 +209,10 @@ let anonymize_config t text =
           | _ -> words
         in
         let anon = anonymize_line t [] words in
-        if indent = 1 then Buffer.add_char out ' ';
-        Buffer.add_string out (String.concat " " anon);
-        Buffer.add_char out '\n'
+        (* the original indentation (tabs, multi-space) is preserved so the
+           anonymized file re-parses to the identical AST shape *)
+        Buffer.add_string out (leading_whitespace line);
+        Buffer.add_string out (String.concat " " anon)
       end)
     lines;
-  (* Drop the trailing extra newline added for the final empty segment. *)
-  let s = Buffer.contents out in
-  if String.length s > 0 && text <> "" && text.[String.length text - 1] <> '\n' then
-    String.sub s 0 (String.length s - 1)
-  else if String.length s > String.length text then String.sub s 0 (String.length s - 1)
-  else s
+  Buffer.contents out

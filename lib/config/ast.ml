@@ -163,7 +163,9 @@ type t = {
   statics : static_route list;
   total_lines : int;  (** physical line count of the source text (Fig. 4). *)
   command_count : int;  (** number of non-comment, non-blank commands. *)
-  unknown : string list;  (** lines the parser did not model. *)
+  unknown : (int * string) list;
+      (** (1-based line number, raw text) of lines the parser did not
+          model — the raw material for {!Diag} reports. *)
   vty_acls : string list;
       (** ACLs referenced by [access-class] inside line blocks — tracked
           so audits know they are in use even though line blocks are not

@@ -11,7 +11,10 @@ let rtrim s =
   String.sub s 0 (last n)
 
 let indent_of s =
-  let rec go i = if i < String.length s && s.[i] = ' ' then go (i + 1) else i in
+  (* A tab indents like a space: real configs mix both, and treating a
+     tab-led sub-command as top-level silently detaches it from its
+     block. *)
+  let rec go i = if i < String.length s && (s.[i] = ' ' || s.[i] = '\t') then go (i + 1) else i in
   go 0
 
 let words_of s =

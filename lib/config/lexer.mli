@@ -6,7 +6,7 @@
     indentation so the parser can track mode structure. *)
 
 type line = {
-  indent : int;  (** number of leading spaces. *)
+  indent : int;  (** number of leading whitespace characters (spaces or tabs). *)
   words : string list;  (** whitespace-separated tokens, non-empty. *)
   raw : string;  (** the original line, trailing whitespace trimmed. *)
   lineno : int;  (** 1-based physical line number. *)

@@ -8,11 +8,12 @@ type state = {
   mutable route_maps : (string * Ast.route_map_entry list) list;  (* name, rev entries *)
   mutable prefix_lists : (string * Ast.prefix_list_entry list) list;  (* name, rev entries *)
   mutable statics : Ast.static_route list;
-  mutable unknown : string list;
+  mutable unknown : (int * string) list;  (* (lineno, raw) *)
   mutable vty_acls : string list;
+  diag : Diag.collector;
 }
 
-let fresh () =
+let fresh ?file () =
   {
     hostname = None;
     interfaces = [];
@@ -23,7 +24,16 @@ let fresh () =
     statics = [];
     unknown = [];
     vty_acls = [];
+    diag = Diag.create ?file ();
   }
+
+(* A line the parser could not model: it goes to [unknown] with its line
+   number and produces a diagnostic.  [severity] distinguishes commands we
+   simply do not model (Warning) from modeled commands whose arguments are
+   malformed (Error) — the latter mean real data loss. *)
+let reject st ?(severity = Diag.Error) ~code ~what (l : Lexer.line) =
+  st.unknown <- (l.lineno, l.raw) :: st.unknown;
+  Diag.report st.diag ~line:l.lineno severity ~code "%s: %s" what (String.trim l.raw)
 
 let direction_of_string = function
   | "in" -> Some Ast.In
@@ -154,30 +164,30 @@ let add_route_map_entry st name entry =
 
 (* --- sub-command parsers ---------------------------------------------- *)
 
-let interface_sub (i : Ast.interface) words raw st : Ast.interface =
-  match words with
+let interface_sub (i : Ast.interface) (l : Lexer.line) st : Ast.interface =
+  match l.words with
   | [ "ip"; "address"; a; m ] -> (
     match addr2 a m with
     | Some am -> { i with if_address = Some am }
     | None ->
-      st.unknown <- raw :: st.unknown;
+      reject st ~code:"parse-bad-address" ~what:"malformed interface address" l;
       i)
   | [ "ip"; "address"; a; m; "secondary" ] -> (
     match addr2 a m with
     | Some am -> { i with secondary_addresses = am :: i.secondary_addresses }
     | None ->
-      st.unknown <- raw :: st.unknown;
+      reject st ~code:"parse-bad-address" ~what:"malformed secondary address" l;
       i)
   | [ "ip"; "unnumbered"; ifname ] -> { i with unnumbered = Some ifname }
   | [ "ip"; "access-group"; acl; dir ] -> (
     match direction_of_string dir with
     | Some d -> { i with access_groups = (acl, d) :: i.access_groups }
     | None ->
-      st.unknown <- raw :: st.unknown;
+      reject st ~code:"parse-bad-direction" ~what:"access-group direction must be in|out" l;
       i)
   | "description" :: rest -> { i with if_description = Some (String.concat " " rest) }
   | [ "shutdown" ] -> { i with shutdown = true }
-  | _ -> { i with if_extras = String.trim raw :: i.if_extras }
+  | _ -> { i with if_extras = String.trim l.raw :: i.if_extras }
 
 let redistribute_of_words words =
   let source_of = function
@@ -242,13 +252,17 @@ let update_neighbor (p : Ast.router_process) peer f : Ast.router_process =
   if !found then { p with neighbors }
   else { p with neighbors = f (Ast.empty_neighbor peer 0) :: p.neighbors }
 
-let router_sub (p : Ast.router_process) words raw st : Ast.router_process =
-  match words with
+let router_sub (p : Ast.router_process) (l : Lexer.line) st : Ast.router_process =
+  let bad_neighbor () =
+    reject st ~code:"parse-bad-address" ~what:"malformed neighbor command" l;
+    p
+  in
+  match l.words with
   | "network" :: rest -> (
     match network_of_words p.protocol rest with
     | Some n -> { p with networks = n :: p.networks }
     | None ->
-      st.unknown <- raw :: st.unknown;
+      reject st ~code:"parse-bad-network" ~what:"malformed network statement" l;
       p)
   | "aggregate-address" :: a :: m :: rest
     when (rest = [] || rest = [ "summary-only" ]) -> (
@@ -257,23 +271,23 @@ let router_sub (p : Ast.router_process) words raw st : Ast.router_process =
       match Prefix.of_addr_mask a m with
       | Some pr -> { p with aggregates = (pr, rest <> []) :: p.aggregates }
       | None ->
-        st.unknown <- raw :: st.unknown;
+        reject st ~code:"parse-bad-aggregate" ~what:"aggregate mask is not contiguous" l;
         p)
     | None ->
-      st.unknown <- raw :: st.unknown;
+      reject st ~code:"parse-bad-aggregate" ~what:"malformed aggregate-address" l;
       p)
   | "redistribute" :: rest -> (
     match redistribute_of_words rest with
     | Some r -> { p with redistributes = r :: p.redistributes }
     | None ->
-      st.unknown <- raw :: st.unknown;
+      reject st ~code:"parse-bad-redistribute" ~what:"malformed redistribute" l;
       p)
   | [ "distribute-list"; acl; dir ] -> (
     match direction_of_string dir with
     | Some d ->
       { p with dlists = { Ast.dl_acl = acl; dl_direction = d; dl_interface = None } :: p.dlists }
     | None ->
-      st.unknown <- raw :: st.unknown;
+      reject st ~code:"parse-bad-direction" ~what:"distribute-list direction must be in|out" l;
       p)
   | [ "distribute-list"; acl; dir; ifname ] -> (
     match direction_of_string dir with
@@ -283,61 +297,45 @@ let router_sub (p : Ast.router_process) words raw st : Ast.router_process =
         dlists = { Ast.dl_acl = acl; dl_direction = d; dl_interface = Some ifname } :: p.dlists;
       }
     | None ->
-      st.unknown <- raw :: st.unknown;
+      reject st ~code:"parse-bad-direction" ~what:"distribute-list direction must be in|out" l;
       p)
   | [ "neighbor"; ip; "remote-as"; asn ] -> (
     match (addr ip, int_of_string_opt asn) with
     | Some peer, Some remote_as -> update_neighbor p peer (fun n -> { n with remote_as })
-    | _ ->
-      st.unknown <- raw :: st.unknown;
-      p)
+    | _ -> bad_neighbor ())
   | [ "neighbor"; ip; "distribute-list"; acl; dir ] -> (
     match (addr ip, direction_of_string dir) with
     | Some peer, Some d ->
       update_neighbor p peer (fun n -> { n with nb_dlists = (acl, d) :: n.nb_dlists })
-    | _ ->
-      st.unknown <- raw :: st.unknown;
-      p)
+    | _ -> bad_neighbor ())
   | [ "neighbor"; ip; "prefix-list"; name; dir ] -> (
     match (addr ip, direction_of_string dir) with
     | Some peer, Some d ->
       update_neighbor p peer (fun n ->
           { n with nb_prefix_lists = (name, d) :: n.nb_prefix_lists })
-    | _ ->
-      st.unknown <- raw :: st.unknown;
-      p)
+    | _ -> bad_neighbor ())
   | [ "neighbor"; ip; "route-map"; name; dir ] -> (
     match (addr ip, direction_of_string dir) with
     | Some peer, Some d ->
       update_neighbor p peer (fun n -> { n with nb_route_maps = (name, d) :: n.nb_route_maps })
-    | _ ->
-      st.unknown <- raw :: st.unknown;
-      p)
+    | _ -> bad_neighbor ())
   | [ "neighbor"; ip; "update-source"; ifname ] -> (
     match addr ip with
     | Some peer -> update_neighbor p peer (fun n -> { n with update_source = Some ifname })
-    | None ->
-      st.unknown <- raw :: st.unknown;
-      p)
+    | None -> bad_neighbor ())
   | [ "neighbor"; ip; "next-hop-self" ] -> (
     match addr ip with
     | Some peer -> update_neighbor p peer (fun n -> { n with next_hop_self = true })
-    | None ->
-      st.unknown <- raw :: st.unknown;
-      p)
+    | None -> bad_neighbor ())
   | [ "neighbor"; ip; "route-reflector-client" ] -> (
     match addr ip with
     | Some peer -> update_neighbor p peer (fun n -> { n with route_reflector_client = true })
-    | None ->
-      st.unknown <- raw :: st.unknown;
-      p)
+    | None -> bad_neighbor ())
   | "neighbor" :: ip :: "description" :: rest -> (
     match addr ip with
     | Some peer ->
       update_neighbor p peer (fun n -> { n with nb_description = Some (String.concat " " rest) })
-    | None ->
-      st.unknown <- raw :: st.unknown;
-      p)
+    | None -> bad_neighbor ())
   | [ "passive-interface"; ifname ] ->
     { p with passive_interfaces = ifname :: p.passive_interfaces }
   | [ "default-information"; "originate" ] -> { p with default_originate = true }
@@ -346,17 +344,18 @@ let router_sub (p : Ast.router_process) words raw st : Ast.router_process =
     match addr a with
     | Some a -> { p with proc_router_id = Some a }
     | None ->
-      st.unknown <- raw :: st.unknown;
+      reject st ~code:"parse-bad-address" ~what:"malformed router-id" l;
       p)
   | [ "no"; "auto-summary" ] | [ "auto-summary" ] | [ "no"; "synchronization" ] | [ "synchronization" ]
   | [ "version"; _ ] | [ "log-adjacency-changes" ] ->
     p (* common noise commands we accept and ignore *)
   | _ ->
-    st.unknown <- raw :: st.unknown;
+    reject st ~severity:Diag.Warning ~code:"parse-unknown-subcommand"
+      ~what:"unmodelled router sub-command" l;
     p
 
-let route_map_sub (e : Ast.route_map_entry) words raw st : Ast.route_map_entry =
-  match words with
+let route_map_sub (e : Ast.route_map_entry) (l : Lexer.line) st : Ast.route_map_entry =
+  match l.words with
   | "match" :: "ip" :: "address" :: "prefix-list" :: pls when pls <> [] ->
     { e with match_prefix_lists = e.match_prefix_lists @ pls }
   | "match" :: "ip" :: "address" :: acls when acls <> [] ->
@@ -366,10 +365,11 @@ let route_map_sub (e : Ast.route_map_entry) words raw st : Ast.route_map_entry =
   | [ "set"; "tag"; t ] when int_of_string_opt t <> None -> { e with set_tag = int_of_string_opt t }
   | [ "set"; "metric"; m ] when int_of_string_opt m <> None ->
     { e with set_metric = int_of_string_opt m }
-  | [ "set"; "local-preference"; l ] when int_of_string_opt l <> None ->
-    { e with set_local_pref = int_of_string_opt l }
+  | [ "set"; "local-preference"; l' ] when int_of_string_opt l' <> None ->
+    { e with set_local_pref = int_of_string_opt l' }
   | _ ->
-    st.unknown <- raw :: st.unknown;
+    reject st ~severity:Diag.Warning ~code:"parse-unknown-subcommand"
+      ~what:"unmodelled route-map sub-command" l;
     e
 
 (* --- mode machine ------------------------------------------------------ *)
@@ -415,13 +415,13 @@ let top_level st (l : Lexer.line) : mode =
     match Ast.protocol_of_string proto with
     | Some p -> In_router (Ast.empty_process p None)
     | None ->
-      st.unknown <- l.raw :: st.unknown;
+      reject st ~code:"parse-bad-protocol" ~what:"unknown routing protocol" l;
       Top)
   | [ "router"; proto; id ] -> (
     match (Ast.protocol_of_string proto, int_of_string_opt id) with
     | Some p, Some id -> In_router (Ast.empty_process p (Some id))
     | _ ->
-      st.unknown <- l.raw :: st.unknown;
+      reject st ~code:"parse-bad-protocol" ~what:"malformed router command" l;
       Top)
   | "access-list" :: name :: action :: rest -> (
     let act = match action with "permit" -> Some Ast.Permit | "deny" -> Some Ast.Deny | _ -> None in
@@ -433,10 +433,10 @@ let top_level st (l : Lexer.line) : mode =
         add_acl_clause st name ~extended c;
         Top
       | None ->
-        st.unknown <- l.raw :: st.unknown;
+        reject st ~code:"parse-bad-acl-clause" ~what:"malformed access-list clause" l;
         Top)
     | None ->
-      st.unknown <- l.raw :: st.unknown;
+      reject st ~code:"parse-bad-acl-clause" ~what:"access-list action must be permit|deny" l;
       Top)
   | "ip" :: "prefix-list" :: name :: rest -> (
     (* ip prefix-list NAME [seq N] permit|deny a.b.c.d/len [ge n] [le n] *)
@@ -473,7 +473,7 @@ let top_level st (l : Lexer.line) : mode =
       add_prefix_list_entry st name e;
       Top
     | None ->
-      st.unknown <- l.raw :: st.unknown;
+      reject st ~code:"parse-bad-prefix-list" ~what:"malformed prefix-list entry" l;
       Top)
   | [ "ip"; "access-list"; kind; name ] when kind = "standard" || kind = "extended" ->
     let extended = kind = "extended" in
@@ -496,14 +496,14 @@ let top_level st (l : Lexer.line) : mode =
             set_local_pref = None;
           } )
     | _ ->
-      st.unknown <- l.raw :: st.unknown;
+      reject st ~code:"parse-bad-route-map" ~what:"malformed route-map header" l;
       Top)
   | "ip" :: "route" :: a :: m :: rest -> (
     match addr2 a m with
     | Some (a, m) -> (
       match Prefix.of_addr_mask a m with
       | None ->
-        st.unknown <- l.raw :: st.unknown;
+        reject st ~code:"parse-bad-route" ~what:"static route mask is not contiguous" l;
         Top
       | Some dest -> (
         let nh, rest' =
@@ -520,10 +520,10 @@ let top_level st (l : Lexer.line) : mode =
           st.statics <- { Ast.sr_dest = dest; sr_next_hop; sr_distance = distance } :: st.statics;
           Top
         | None ->
-          st.unknown <- l.raw :: st.unknown;
+          reject st ~code:"parse-bad-route" ~what:"static route has no next hop" l;
           Top))
     | None ->
-      st.unknown <- l.raw :: st.unknown;
+      reject st ~code:"parse-bad-route" ~what:"malformed static route" l;
       Top)
   | "ip" :: "classless" :: _ | "no" :: _ -> Top (* accepted-and-ignored *)
   | "ip" :: sub :: _
@@ -534,7 +534,7 @@ let top_level st (l : Lexer.line) : mode =
   | head :: _ when List.mem head ignored_block_heads -> In_ignored
   | head :: _ when List.mem head ignored_heads -> Top
   | _ ->
-    st.unknown <- l.raw :: st.unknown;
+    reject st ~severity:Diag.Warning ~code:"parse-unknown-command" ~what:"unrecognized command" l;
     Top
 
 let sub_level st mode (l : Lexer.line) : mode =
@@ -546,10 +546,11 @@ let sub_level st mode (l : Lexer.line) : mode =
      | _ -> ());
     In_ignored
   | Top ->
-    st.unknown <- l.raw :: st.unknown;
+    reject st ~severity:Diag.Warning ~code:"parse-orphan-subcommand"
+      ~what:"indented line outside any block" l;
     Top
-  | In_interface i -> In_interface (interface_sub i l.words l.raw st)
-  | In_router p -> In_router (router_sub p l.words l.raw st)
+  | In_interface i -> In_interface (interface_sub i l st)
+  | In_router p -> In_router (router_sub p l st)
   | In_named_acl (name, extended) -> (
     match l.words with
     | action :: rest -> (
@@ -563,16 +564,16 @@ let sub_level st mode (l : Lexer.line) : mode =
           add_acl_clause st name ~extended c;
           mode
         | None ->
-          st.unknown <- l.raw :: st.unknown;
+          reject st ~code:"parse-bad-acl-clause" ~what:"malformed access-list clause" l;
           mode)
       | None ->
-        st.unknown <- l.raw :: st.unknown;
+        reject st ~code:"parse-bad-acl-clause" ~what:"access-list action must be permit|deny" l;
         mode)
     | [] -> mode)
-  | In_route_map (name, e) -> In_route_map (name, route_map_sub e l.words l.raw st)
+  | In_route_map (name, e) -> In_route_map (name, route_map_sub e l st)
 
-let parse text =
-  let st = fresh () in
+let parse_with_diags ?file text =
+  let st = fresh ?file () in
   let lines = Lexer.lines_of_string text in
   let mode = ref Top in
   List.iter
@@ -640,19 +641,22 @@ let parse text =
         { Ast.pl_name = name; pl_entries = entries })
       st.prefix_lists
   in
-  {
-    Ast.hostname = st.hostname;
-    interfaces;
-    processes;
-    acls;
-    route_maps;
-    prefix_lists;
-    statics = List.rev st.statics;
-    total_lines;
-    command_count;
-    unknown = List.rev st.unknown;
-    vty_acls = List.rev st.vty_acls;
-  }
+  ( {
+      Ast.hostname = st.hostname;
+      interfaces;
+      processes;
+      acls;
+      route_maps;
+      prefix_lists;
+      statics = List.rev st.statics;
+      total_lines;
+      command_count;
+      unknown = List.rev st.unknown;
+      vty_acls = List.rev st.vty_acls;
+    },
+    Diag.to_list st.diag )
+
+let parse text = fst (parse_with_diags text)
 
 let parse_file path =
   let ic = open_in_bin path in

@@ -10,6 +10,16 @@ val parse : string -> Ast.t
 (** Parse a whole configuration file.  Never raises on unknown commands;
     malformed arguments of known commands demote the line to [unknown]. *)
 
+val parse_with_diags : ?file:string -> string -> Ast.t * Diag.t list
+(** Like {!parse}, but also returns the diagnostics the parser produced:
+    every line that lands in [Ast.unknown] comes back as a coded, located
+    diagnostic.  Unmodelled commands report as [Warning]
+    ([parse-unknown-command], [parse-unknown-subcommand],
+    [parse-orphan-subcommand]); modeled commands whose arguments could
+    not be parsed — real data loss — report as [Error]
+    ([parse-bad-address], [parse-bad-acl-clause], [parse-bad-route], ...).
+    [file] stamps the file name onto each diagnostic. *)
+
 val parse_file : string -> Ast.t
 (** Read a file from disk and parse it.  Raises [Sys_error] on IO
     failure. *)

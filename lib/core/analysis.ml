@@ -6,12 +6,13 @@ type t = {
   graph : Rd_routing.Instance_graph.t;
   blocks : Rd_addrspace.Blocks.block list;
   filter_stats : Rd_policy.Filter_stats.placement;
+  diags : Rd_config.Diag.t list;
 }
 
 let time timing stage f =
   match timing with None -> f () | Some t -> Rd_util.Timing.span t stage f
 
-let analyze_asts ?timing ~name configs =
+let analyze_asts ?timing ?(diags = []) ~name configs =
   let topo = time timing "topology" (fun () -> Rd_topo.Topology.build configs) in
   let catalog = time timing "catalog" (fun () -> Rd_routing.Process.build topo) in
   let graph = time timing "instance-graph" (fun () -> Rd_routing.Instance_graph.build catalog) in
@@ -20,16 +21,20 @@ let analyze_asts ?timing ~name configs =
         Rd_addrspace.Blocks.discover (Rd_addrspace.Blocks.subnets_of_configs configs))
   in
   let filter_stats = time timing "filter-stats" (fun () -> Rd_policy.Filter_stats.analyze topo) in
-  { name; configs; topo; catalog; graph; blocks; filter_stats }
+  { name; configs; topo; catalog; graph; blocks; filter_stats; diags }
 
 let analyze ?timing ?jobs ~name files =
-  let asts =
+  let parsed =
     time timing "parse" (fun () ->
         Rd_util.Pool.parallel_map ?jobs
-          (fun (f, text) -> (f, Rd_config.Parser.parse text))
+          (fun (f, text) ->
+            let ast, ds = Rd_config.Parser.parse_with_diags ~file:f text in
+            ((f, ast), ds))
           files)
   in
-  analyze_asts ?timing ~name asts
+  let asts = List.map fst parsed in
+  let diags = List.concat_map snd parsed in
+  analyze_asts ?timing ~diags ~name asts
 
 let router_count t = Array.length t.topo.routers
 
@@ -90,4 +95,7 @@ let summary t =
   pf "  address blocks: %d\n" (List.length t.blocks);
   pf "  filter rules: %d total, %d on internal interfaces\n" t.filter_stats.total_rules
     t.filter_stats.internal_rules;
+  (match Rd_config.Diag.counts t.diags with
+   | 0, 0, 0 -> ()
+   | e, w, i -> pf "  diagnostics: %d errors, %d warnings, %d notes\n" e w i);
   Buffer.contents buf

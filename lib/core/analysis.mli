@@ -14,18 +14,24 @@ type t = {
   graph : Rd_routing.Instance_graph.t;
   blocks : Rd_addrspace.Blocks.block list;
   filter_stats : Rd_policy.Filter_stats.placement;
+  diags : Rd_config.Diag.t list;
+      (** parse diagnostics from every file, in file order. *)
 }
 
 val analyze : ?timing:Rd_util.Timing.t -> ?jobs:int -> name:string -> (string * string) list -> t
 (** [analyze ~name files] where [files] are (file name, raw configuration
     text) pairs.  Parsing fans out across [jobs] pool workers (default
     {!Rd_util.Pool.default_jobs}; order-preserving, so the result is
-    identical to a sequential parse).  When [timing] is given, each
-    pipeline stage ([parse], [topology], [catalog], [instance-graph],
-    [blocks], [filter-stats]) charges its wall time to the recorder. *)
+    identical to a sequential parse).  Parse problems are collected into
+    [diags] rather than lost.  When [timing] is given, each pipeline
+    stage ([parse], [topology], [catalog], [instance-graph], [blocks],
+    [filter-stats]) charges its wall time to the recorder. *)
 
-val analyze_asts : ?timing:Rd_util.Timing.t -> name:string -> (string * Rd_config.Ast.t) list -> t
-(** Entry point when configurations are already parsed. *)
+val analyze_asts :
+  ?timing:Rd_util.Timing.t -> ?diags:Rd_config.Diag.t list ->
+  name:string -> (string * Rd_config.Ast.t) list -> t
+(** Entry point when configurations are already parsed; [diags] carries
+    any diagnostics collected while parsing them. *)
 
 val router_count : t -> int
 val instance_count : t -> int

@@ -1,0 +1,46 @@
+(** Config-lint: static cross-reference and consistency checking of
+    configuration files, reported as located {!Rd_config.Diag}
+    diagnostics.
+
+    Where {!Audit} reasons about the derived network-wide routing design,
+    [Lint] works directly on each configuration's text and line structure,
+    so every finding points at a concrete [file:line].  The pass folds in
+    the parser's own diagnostics (malformed/unmodelled lines) and adds the
+    rule catalogue below.
+
+    Rules (stable codes):
+    - [lint-undefined-acl] (Error): an access-group, distribute-list,
+      access-class or route-map [match] references an ACL the file never
+      defines.
+    - [lint-undefined-route-map] (Error): a redistribute or neighbor
+      statement references an undefined route-map.
+    - [lint-undefined-prefix-list] (Error): a neighbor or route-map
+      [match] references an undefined prefix-list.
+    - [lint-neighbor-no-remote-as] (Error): a BGP neighbor is configured
+      (filters, update-source, ...) but never given [remote-as] — the
+      session cannot establish.
+    - [lint-duplicate-acl] (Warning): an [ip access-list] block redefines
+      an already-defined ACL name.
+    - [lint-duplicate-route-map-seq] (Warning): the same route-map
+      sequence number is defined twice.
+    - [lint-unused-acl] (Warning): an ACL is defined but never applied.
+    - [lint-unused-route-map] (Warning): a route-map is defined but never
+      applied.
+    - [lint-redistribute-no-metric] (Warning): redistribution of another
+      routing protocol into OSPF without an explicit [metric] — the
+      classic silently-wrong-cost pitfall.
+    - [lint-interface-overlap] (Warning): two interface addresses on the
+      same router lie in overlapping subnets. *)
+
+val lint_config : file:string -> string -> Rd_config.Diag.t list
+(** Lint one configuration file: the parser's diagnostics followed by
+    rule findings in line order.  Never raises on any input. *)
+
+val lint_files : ?jobs:int -> (string * string) list -> Rd_config.Diag.t list
+(** Lint a network's (file name, text) pairs; fans out across the domain
+    pool, result in file order. *)
+
+val render : Rd_config.Diag.t list -> string
+(** Table rendering (delegates to {!Rd_config.Diag.render}). *)
+
+val to_json : Rd_config.Diag.t list -> Rd_util.Json.t

@@ -40,17 +40,26 @@ let eval_packet (acl : Ast.acl) ~src ~dst ?proto ?src_port ?dst_port () =
 
 let eval_route (acl : Ast.acl) p = eval_addr acl (Prefix.network p)
 
-let clause_set (c : Ast.acl_clause) =
+let clause_set ?diag ?acl_name (c : Ast.acl_clause) =
   match Wildcard.to_prefix c.src with
   | Some p -> Prefix_set.of_prefix p
-  | None -> invalid_arg "Acl.permitted_set: non-contiguous wildcard"
+  | None ->
+    (* Non-contiguous wildcard: expand exactly when the enumeration is
+       bounded, else take the smallest contiguous cover and say so. *)
+    let prefixes, exact = Wildcard.to_prefixes c.src in
+    if not exact then
+      Diag.reportf diag Diag.Warning ~code:"acl-wildcard-approx"
+        "%snon-contiguous wildcard %s needs more than 2^12 prefixes; clause set over-approximated"
+        (match acl_name with Some n -> Printf.sprintf "access-list %s: " n | None -> "")
+        (Wildcard.to_string c.src);
+    Prefix_set.of_prefixes prefixes
 
-let permitted_set (acl : Ast.acl) =
+let permitted_set ?diag (acl : Ast.acl) =
   (* First-match: a clause only claims addresses not claimed earlier. *)
   let rec go permitted claimed = function
     | [] -> permitted
     | (c : Ast.acl_clause) :: rest ->
-      let s = Prefix_set.diff (clause_set c) claimed in
+      let s = Prefix_set.diff (clause_set ?diag ~acl_name:acl.acl_name c) claimed in
       let permitted =
         match c.clause_action with
         | Ast.Permit -> Prefix_set.union permitted s

@@ -30,11 +30,13 @@ val eval_route : Ast.acl -> Prefix.t -> verdict
     network address matches the clause's source spec.  This is how IOS
     applies standard ACLs in distribute-lists. *)
 
-val permitted_set : Ast.acl -> Prefix_set.t
-(** The exact set of addresses permitted by the ACL, honouring first-match
-    order.  Requires every clause's source wildcard to be contiguous;
-    non-contiguous wildcards raise [Invalid_argument] (the generator never
-    emits them; real configs rarely contain them). *)
+val permitted_set : ?diag:Diag.collector -> Ast.acl -> Prefix_set.t
+(** The set of addresses permitted by the ACL, honouring first-match
+    order.  Never raises: non-contiguous source wildcards are decomposed
+    into their exact prefix cover via {!Rd_addr.Wildcard.to_prefixes}
+    (exact up to 12 enumerated wildcard bits; beyond that the clause set
+    is over-approximated by its smallest contiguous cover and an
+    [acl-wildcard-approx] warning is reported to [diag]). *)
 
 val clause_count : Ast.acl -> int
 

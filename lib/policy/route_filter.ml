@@ -5,14 +5,15 @@ type t = Prefix_set.t  (* the permitted destination set *)
 let everything = Prefix_set.full
 let nothing = Prefix_set.empty
 
-let of_acl acl = Acl.permitted_set acl
+let of_acl ?diag acl = Acl.permitted_set ?diag acl
 
-let of_route_map rm ~lookup_acl ?lookup_prefix_list () =
-  Route_map.permitted_set rm ~lookup_acl ?lookup_prefix_list ()
+let of_route_map ?diag rm ~lookup_acl ?lookup_prefix_list () =
+  Route_map.permitted_set ?diag rm ~lookup_acl ?lookup_prefix_list ()
 
 let of_prefix_list pl = Prefix_list_policy.permitted_set pl
 
-let of_dlists acls = List.fold_left (fun acc a -> Prefix_set.inter acc (of_acl a)) everything acls
+let of_dlists ?diag acls =
+  List.fold_left (fun acc a -> Prefix_set.inter acc (of_acl ?diag a)) everything acls
 
 let conj = Prefix_set.inter
 

@@ -15,16 +15,19 @@ type t
 val everything : t
 val nothing : t
 
-val of_acl : Ast.acl -> t
+val of_acl : ?diag:Diag.collector -> Ast.acl -> t
 val of_route_map :
+  ?diag:Diag.collector ->
   Ast.route_map ->
   lookup_acl:(string -> Ast.acl option) ->
   ?lookup_prefix_list:(string -> Ast.prefix_list option) ->
   unit ->
   t
 val of_prefix_list : Ast.prefix_list -> t
-val of_dlists : Ast.acl list -> t
-(** Conjunction of several distribute-lists (all must permit). *)
+val of_dlists : ?diag:Diag.collector -> Ast.acl list -> t
+(** Conjunction of several distribute-lists (all must permit).  [diag]
+    receives [acl-wildcard-approx] warnings when a clause set had to be
+    over-approximated. *)
 
 val conj : t -> t -> t
 (** Both filters must permit. *)

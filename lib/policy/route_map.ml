@@ -49,10 +49,10 @@ let eval (rm : Ast.route_map) ~lookup_acl ?(lookup_prefix_list = fun _ -> None) 
   in
   go rm.entries
 
-let permitted_set (rm : Ast.route_map) ~lookup_acl ?(lookup_prefix_list = fun _ -> None) () =
+let permitted_set ?diag (rm : Ast.route_map) ~lookup_acl ?(lookup_prefix_list = fun _ -> None) () =
   let acl_set name =
     match lookup_acl name with
-    | Some acl -> Acl.permitted_set acl
+    | Some acl -> Acl.permitted_set ?diag acl
     | None -> Prefix_set.empty
   in
   let pl_set name =

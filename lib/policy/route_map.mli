@@ -27,6 +27,7 @@ val eval :
     semantics for redistribution route-maps). *)
 
 val permitted_set :
+  ?diag:Diag.collector ->
   Ast.route_map ->
   lookup_acl:(string -> Ast.acl option) ->
   ?lookup_prefix_list:(string -> Ast.prefix_list option) ->
@@ -34,4 +35,5 @@ val permitted_set :
   Prefix_set.t
 (** Addresses whose routes can pass the map ignoring tag matches (a
     conservative over-approximation when tag matches are present; exact
-    otherwise).  Unresolvable ACL references match nothing. *)
+    otherwise).  Unresolvable ACL references match nothing.  [diag]
+    receives warnings from {!Acl.permitted_set} on referenced ACLs. *)

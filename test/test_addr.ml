@@ -22,6 +22,8 @@ let test_ipv4_reject () =
     [
       ""; "1.2.3"; "1.2.3.4.5"; "256.1.1.1"; "1.2.3.256"; "a.b.c.d"; "1..2.3"; "1.2.3.4 ";
       " 1.2.3.4"; "01234.1.1.1"; "1.2.3.-4"; "1.2.3.4/24";
+      (* leading zeros are ambiguous (octal in many parsers) — reject *)
+      "010.0.0.1"; "1.02.3.4"; "1.2.3.04"; "00.0.0.0";
     ]
 
 let test_ipv4_octets () =
@@ -124,6 +126,31 @@ let test_wildcard_noncontiguous () =
   check_bool "match2" false (Wildcard.matches w (ip "10.1.77.8"));
   check_bool "contig" false (Wildcard.is_contiguous w);
   check_bool "to_prefix" true (Wildcard.to_prefix w = None)
+
+let test_wildcard_to_prefixes () =
+  (* contiguous: single exact prefix *)
+  (match Wildcard.to_prefixes (Wildcard.make (ip "10.0.0.0") (ip "0.0.0.255")) with
+   | [ p ], true -> check_string "contiguous" "10.0.0.0/24" (Prefix.to_string p)
+   | ps, exact -> Alcotest.failf "contiguous: %d prefixes, exact=%b" (List.length ps) exact);
+  (* wildcard 0.0.0.5: bit 0 folds into the length, bit 2 is enumerated *)
+  (match Wildcard.to_prefixes (Wildcard.make (ip "10.0.0.0") (ip "0.0.0.5")) with
+   | [ a; b ], true ->
+     Alcotest.(check (list string))
+       "scattered pair" [ "10.0.0.0/31"; "10.0.0.4/31" ]
+       (List.sort compare [ Prefix.to_string a; Prefix.to_string b ])
+   | ps, exact -> Alcotest.failf "0.0.0.5: %d prefixes, exact=%b" (List.length ps) exact);
+  (* third octet free, fourth fixed: 256 host prefixes, all matching *)
+  let w = Wildcard.make (ip "10.1.0.7") (ip "0.0.255.0") in
+  let ps, exact = Wildcard.to_prefixes w in
+  check_bool "exact" true exact;
+  check_int "256 prefixes" 256 (List.length ps);
+  check_bool "all match" true
+    (List.for_all (fun p -> Prefix.len p = 32 && Wildcard.matches w (Prefix.addr p)) ps);
+  (* 23 scattered bits exceed the cap: single over-approximate cover *)
+  (match Wildcard.to_prefixes (Wildcard.make (ip "10.0.0.1") (ip "0.255.255.254")) with
+   | [ p ], false ->
+     check_string "over-approx cover" "10.0.0.0/8" (Prefix.to_string p)
+   | ps, exact -> Alcotest.failf "over-approx: %d prefixes, exact=%b" (List.length ps) exact)
 
 let test_wildcard_prefix_bridge () =
   let p = pfx "192.168.4.0/22" in
@@ -236,6 +263,33 @@ let prop_mem_union =
       let x = Prefix.addr p in
       Prefix_set.mem x (Prefix_set.union a b) = (Prefix_set.mem x a || Prefix_set.mem x b))
 
+let arb_sparse_wildcard =
+  (* wildcards with at most 12 wild bits — the regime where to_prefixes is
+     exact by contract *)
+  QCheck.make ~print:Wildcard.to_string
+    QCheck.Gen.(
+      let* base = map Int32.to_int int32 in
+      let* nbits = int_bound 12 in
+      let* positions = list_repeat nbits (int_bound 31) in
+      let wild = List.fold_left (fun acc p -> acc lor (1 lsl p)) 0 positions in
+      return (Wildcard.make (Ipv4.of_int (base land 0xFFFFFFFF)) (Ipv4.of_int wild)))
+
+let prop_wildcard_to_prefixes_exact =
+  QCheck.Test.make ~name:"wildcard to_prefixes = wildcard membership (<=12 wild bits)"
+    ~count:300
+    (QCheck.pair arb_sparse_wildcard (QCheck.make QCheck.Gen.(map Int32.to_int int32)))
+    (fun (w, a) ->
+      let ps, exact = Wildcard.to_prefixes w in
+      let addr = Ipv4.of_int (a land 0xFFFFFFFF) in
+      (* an address forced to match: base with arbitrary values in wild bits *)
+      let forced =
+        Ipv4.of_int
+          (Ipv4.to_int (Wildcard.base w) lor (a land Ipv4.to_int (Wildcard.wild w)))
+      in
+      exact
+      && Wildcard.matches w addr = List.exists (fun p -> Prefix.mem addr p) ps
+      && List.exists (fun p -> Prefix.mem forced p) ps)
+
 (* ------------------------------------------------------ Prefix_trie --- *)
 
 let test_trie_basics () =
@@ -330,8 +384,10 @@ let () =
         [
           Alcotest.test_case "matching" `Quick test_wildcard_match;
           Alcotest.test_case "non-contiguous" `Quick test_wildcard_noncontiguous;
+          Alcotest.test_case "to_prefixes" `Quick test_wildcard_to_prefixes;
           Alcotest.test_case "prefix bridge" `Quick test_wildcard_prefix_bridge;
-        ] );
+        ]
+        @ qc [ prop_wildcard_to_prefixes_exact ] );
       ( "prefix_set",
         [
           Alcotest.test_case "basics" `Quick test_set_basics;

@@ -333,7 +333,7 @@ let test_generated_parse_clean () =
     (fun (name, text) ->
       let c = Parser.parse text in
       if c.unknown <> [] then
-        Alcotest.failf "unknown lines in %s: %s" name (List.hd c.unknown))
+        Alcotest.failf "unknown lines in %s: %s" name (snd (List.hd c.unknown)))
     (Rd_gen.Builder.to_texts net)
 
 (* ---------------------------------------------------------- anonymizer --- *)
@@ -409,6 +409,91 @@ let test_anon_config_structure () =
   (match bgp.neighbors with
    | [ n ] -> check_bool "public asn remapped" true (n.remote_as <> 12762)
    | _ -> Alcotest.fail "neighbor")
+
+let test_anon_parse_round_trip_archetypes () =
+  (* anonymized configs must re-parse to the same AST shape: same interface,
+     process, ACL and route-map counts, for every archetype *)
+  let t = Anonymizer.create ~key:"rt" in
+  List.iter
+    (fun arch ->
+      let net = Rd_gen.Archetype.generate arch ~seed:9 ~n:10 ~index:3 () in
+      List.iter
+        (fun (name, text) ->
+          let before = Parser.parse text in
+          let after = Parser.parse (Anonymizer.anonymize_config t text) in
+          let label what = Printf.sprintf "%s %s %s" (Rd_gen.Archetype.to_string arch) name what in
+          check_int (label "interfaces") (List.length before.interfaces) (List.length after.interfaces);
+          check_int (label "processes") (List.length before.processes) (List.length after.processes);
+          check_int (label "acls") (List.length before.acls) (List.length after.acls);
+          check_int (label "route-maps") (List.length before.route_maps) (List.length after.route_maps);
+          check_int (label "statics") (List.length before.statics) (List.length after.statics);
+          check_int (label "unknown") (List.length before.unknown) (List.length after.unknown))
+        (Rd_gen.Builder.to_texts net))
+    [
+      Rd_gen.Archetype.Backbone; Rd_gen.Archetype.Enterprise; Rd_gen.Archetype.Compartment;
+      Rd_gen.Archetype.Restricted; Rd_gen.Archetype.Tier2; Rd_gen.Archetype.Hub_spoke;
+      Rd_gen.Archetype.Igp_only;
+    ]
+
+let test_anon_whitespace_preserved () =
+  (* leading tabs / multi-space indents and blank lines survive verbatim,
+     so indentation-sensitive structure re-parses identically *)
+  let t = Anonymizer.create ~key:"ws" in
+  let text = "interface Ethernet0\n\tip address 10.0.0.1 255.255.255.0\n   description up\n\nrouter ospf 1\n network 10.0.0.0 0.0.0.255 area 0\n" in
+  let anon = Anonymizer.anonymize_config t text in
+  let leading s =
+    let n = ref 0 in
+    while !n < String.length s && (s.[!n] = ' ' || s.[!n] = '\t') do incr n done;
+    String.sub s 0 !n
+  in
+  List.iter2
+    (fun a b -> check_string "indent" (leading a) (leading b))
+    (String.split_on_char '\n' text) (String.split_on_char '\n' anon);
+  check_int "line count" (List.length (String.split_on_char '\n' text))
+    (List.length (String.split_on_char '\n' anon));
+  (* exact trailing-newline behaviour, with and without *)
+  check_bool "trailing newline kept" true (String.length anon > 0 && anon.[String.length anon - 1] = '\n');
+  let no_nl = Anonymizer.anonymize_config t "hostname r1" in
+  check_bool "no trailing newline added" true
+    (String.length no_nl > 0 && no_nl.[String.length no_nl - 1] <> '\n');
+  (* tab-indented sub-commands still parse as sub-commands *)
+  let c = Parser.parse anon in
+  check_int "iface parsed" 1 (List.length c.interfaces);
+  check_bool "address survived as address" true
+    ((List.hd c.interfaces).if_address <> None)
+
+(* ------------------------------------------------------------ diagnostics --- *)
+
+let test_parse_with_diags () =
+  let text =
+    "interface Ethernet0\n ip address 10.1.1.300 255.255.255.0\nrouter bgp 65001\n neighbor bogus remote-as 7\nfrobnicate widget\n"
+  in
+  let c, diags = Parser.parse_with_diags ~file:"r.cfg" text in
+  (* unknown bookkeeping carries line numbers *)
+  check_bool "unknown has linenos" true
+    (List.exists (fun (n, raw) -> n = 5 && raw = "frobnicate widget") c.unknown);
+  let e, w, _ = Diag.counts diags in
+  check_int "errors" 2 e;
+  check_bool "warnings include unknown command" true (w >= 1);
+  let find code = List.filter (fun (d : Diag.t) -> d.code = code) diags in
+  (match find "parse-bad-address" with
+   | d :: _ ->
+     check_bool "file stamped" true (d.file = Some "r.cfg");
+     check_int "bad address line" 2 (Option.value d.line ~default:(-1))
+   | [] -> Alcotest.fail "expected parse-bad-address");
+  (match find "parse-unknown-command" with
+   | d :: _ -> check_int "unknown line" 5 (Option.value d.line ~default:(-1))
+   | [] -> Alcotest.fail "expected parse-unknown-command");
+  (* plain parse is diag-free and equivalent *)
+  let c2 = Parser.parse text in
+  check_int "same unknown count" (List.length c.unknown) (List.length c2.unknown)
+
+let test_parse_leading_zero_octets () =
+  (* 010.0.0.1 must not silently parse as 10.0.0.1 *)
+  let c, diags = Parser.parse_with_diags "interface Ethernet0\n ip address 010.0.0.1 255.255.255.0\n" in
+  check_bool "address rejected" true ((List.hd c.interfaces).if_address = None);
+  check_bool "diagnosed" true
+    (List.exists (fun (d : Diag.t) -> d.code = "parse-bad-address") diags)
 
 let test_anon_subnet_matching_preserved () =
   (* two interfaces on the same /30 must still share a subnet after
@@ -541,6 +626,14 @@ let () =
           Alcotest.test_case "AS number policy" `Quick test_anon_as_numbers;
           Alcotest.test_case "structure preserved" `Quick test_anon_config_structure;
           Alcotest.test_case "subnet matching preserved" `Quick test_anon_subnet_matching_preserved;
+          Alcotest.test_case "anonymize->parse round trip (archetypes)" `Quick
+            test_anon_parse_round_trip_archetypes;
+          Alcotest.test_case "whitespace preserved" `Quick test_anon_whitespace_preserved;
+        ] );
+      ( "diagnostics",
+        [
+          Alcotest.test_case "parse_with_diags codes and lines" `Quick test_parse_with_diags;
+          Alcotest.test_case "leading-zero octets rejected" `Quick test_parse_leading_zero_octets;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

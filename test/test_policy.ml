@@ -126,6 +126,85 @@ let test_acl_permitted_set () =
   check_bool "order matters" true
     (Prefix_set.mem (ip "10.1.2.3") (Rd_policy.Acl.permitted_set acl2))
 
+let mk_wild name clauses =
+  {
+    Ast.acl_name = name;
+    extended = false;
+    clauses =
+      List.map
+        (fun (action, base, wild) ->
+          {
+            Ast.clause_action = action;
+            src = Wildcard.make (ip base) (ip wild);
+            ip_proto = None;
+            dst = None;
+            src_port = None;
+            dst_port = None;
+          })
+        clauses;
+  }
+
+let test_acl_noncontiguous_wildcard () =
+  (* 0.0.255.0: third octet free, fourth fixed — used to raise
+     Invalid_argument, must now produce the exact set *)
+  let acl = mk_wild "nc" [ (Ast.Permit, "10.1.0.7", "0.0.255.0") ] in
+  let s = Rd_policy.Acl.permitted_set acl in
+  check_bool "member" true (Prefix_set.mem (ip "10.1.200.7") s);
+  check_bool "non-member" false (Prefix_set.mem (ip "10.1.200.8") s);
+  check_int "exactly 256 hosts" 256 (Prefix_set.count_addresses s)
+
+let test_acl_wildcard_over_approx () =
+  (* 23 scattered wildcard bits exceed the enumeration cap: the set is
+     over-approximated (never under) and a diagnostic is reported *)
+  let acl = mk_wild "big" [ (Ast.Permit, "10.0.0.1", "0.255.255.254") ] in
+  let diag = Diag.create () in
+  let s = Rd_policy.Acl.permitted_set ~diag acl in
+  check_bool "warned" true
+    (List.exists (fun (d : Diag.t) -> d.code = "acl-wildcard-approx") (Diag.to_list diag));
+  (* every address the wildcard matches is in the over-approximation *)
+  check_bool "superset" true (Prefix_set.mem (ip "10.7.7.1") s)
+
+(* permitted_set vs brute-force first-match evaluation, on ACLs whose
+   wildcards live in the low 9 bits (so membership can be enumerated) *)
+let arb_nc_acl =
+  QCheck.make
+    ~print:(fun (acl : Ast.acl) ->
+      String.concat "; "
+        (List.map
+           (fun (c : Ast.acl_clause) ->
+             Printf.sprintf "%s %s"
+               (match c.clause_action with Ast.Permit -> "permit" | Ast.Deny -> "deny")
+               (Wildcard.to_string c.src))
+           acl.clauses))
+    QCheck.Gen.(
+      let clause =
+        let* permit = bool in
+        let* base = int_bound 511 in
+        let* wild = int_bound 511 in
+        return
+          {
+            Ast.clause_action = (if permit then Ast.Permit else Ast.Deny);
+            src = Wildcard.make (Ipv4.of_int (0x0A000000 lor base)) (Ipv4.of_int wild);
+            ip_proto = None;
+            dst = None;
+            src_port = None;
+            dst_port = None;
+          }
+      in
+      let* clauses = list_size (int_range 1 4) clause in
+      return { Ast.acl_name = "prop"; extended = false; clauses })
+
+let prop_acl_set_matches_eval =
+  QCheck.Test.make ~name:"permitted_set = brute-force eval (non-contiguous wildcards)"
+    ~count:100 arb_nc_acl (fun acl ->
+      let s = Rd_policy.Acl.permitted_set acl in
+      List.for_all
+        (fun i ->
+          let a = Ipv4.of_int (0x0A000000 lor i) in
+          Prefix_set.mem a s = (Rd_policy.Acl.eval_addr acl a = Ast.Permit))
+        (List.init 512 Fun.id)
+      && not (Prefix_set.mem (ip "11.0.0.1") s))
+
 let test_acl_route_semantics () =
   let acl = mk_std "7" [ (Ast.Permit, "10.0.0.0/8") ] in
   check_bool "route matched by network addr" true
@@ -434,8 +513,11 @@ let () =
           Alcotest.test_case "packet evaluation" `Quick test_acl_packet_eval;
           Alcotest.test_case "port matchers" `Quick test_acl_port_matchers;
           Alcotest.test_case "permitted set" `Quick test_acl_permitted_set;
+          Alcotest.test_case "non-contiguous wildcard set" `Quick test_acl_noncontiguous_wildcard;
+          Alcotest.test_case "wildcard over-approximation" `Quick test_acl_wildcard_over_approx;
           Alcotest.test_case "route semantics" `Quick test_acl_route_semantics;
-        ] );
+        ]
+        @ List.map QCheck_alcotest.to_alcotest [ prop_acl_set_matches_eval ] );
       ( "route_map",
         [
           Alcotest.test_case "eval with sets" `Quick test_route_map_eval;

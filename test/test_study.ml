@@ -204,6 +204,19 @@ let test_scorecard () =
   check_bool "no failures" false (contains "FAIL");
   check_bool "summary present" true (contains "20/20 criteria pass")
 
+(* ------------------------------------------------------------------ lint --- *)
+
+let test_full_study_lints_clean () =
+  (* every file of every study network lints without raising and without
+     error-severity findings (warnings are tolerated) *)
+  List.iter
+    (fun (s : Rd_study.Population.spec) ->
+      let diags = Rd_core.Lint.lint_files (Rd_study.Population.generate_one s) in
+      let errors = List.filter (fun (d : Rd_config.Diag.t) -> d.severity = Rd_config.Diag.Error) diags in
+      if errors <> [] then
+        Alcotest.failf "%s: %s" s.label (Rd_config.Diag.to_string (List.hd errors)))
+    specs
+
 let () =
   Alcotest.run "rd_study"
     [
@@ -226,5 +239,6 @@ let () =
           Alcotest.test_case "parallel build determinism" `Quick test_parallel_build_deterministic;
           Alcotest.test_case "determinism" `Quick test_study_deterministic;
           Alcotest.test_case "scorecard" `Slow test_scorecard;
+          Alcotest.test_case "all 31 networks lint clean" `Slow test_full_study_lints_clean;
         ] );
     ]
