@@ -27,6 +27,9 @@ let section title = Printf.printf "\n%s\n%s\n%s\n" line title line
 
 let jobs = ref (Rd_util.Pool.default_jobs ())
 let json_path = ref ""
+let trace_path = ref ""
+let metrics_flag = ref false
+let metrics_json_path = ref ""
 
 let () =
   Arg.parse
@@ -34,29 +37,42 @@ let () =
       ("-j", Arg.Set_int jobs, "N  worker domains for the study build (default RDNA_JOBS or cores)");
       ("--jobs", Arg.Set_int jobs, "N  same as -j");
       ("--json", Arg.Set_string json_path, "FILE  write machine-readable results to FILE");
+      ("--trace", Arg.Set_string trace_path,
+       "FILE  write the instrumented build's Chrome trace_event JSON to FILE");
+      ("--metrics", Arg.Set metrics_flag, " print the instrumented build's metrics registry");
+      ("--metrics-json", Arg.Set_string metrics_json_path,
+       "FILE  write the instrumented build's metrics snapshot as JSON to FILE");
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument: " ^ a)))
-    "bench [-j N] [--json FILE]"
+    "bench [-j N] [--json FILE] [--trace FILE] [--metrics] [--metrics-json FILE]"
 
 (* ------------------------------------------------------------- part 1 --- *)
 
-(* Build the study twice — sequentially and across the domain pool —
-   to measure the speedup and assert the outputs are byte-identical. *)
+(* Build the study three times — sequentially, across the domain pool,
+   and across the pool with tracing and metrics on — to measure the
+   parallel speedup and the tracer overhead, and to assert all three
+   outputs are byte-identical. *)
 let build_study () =
   let jobs = max 1 !jobs in
   Printf.printf "building the 31-network study population (seed %d)...\n%!" master_seed;
-  let t0 = Rd_util.Timing.now () in
+  let t0 = Rd_util.Trace.now () in
   let nets_seq = Rd_study.Population.build ~jobs:1 ~master_seed () in
-  let seq_s = Rd_util.Timing.now () -. t0 in
-  let timing = Rd_util.Timing.create () in
-  let t1 = Rd_util.Timing.now () in
-  let nets = Rd_study.Population.build ~jobs ~timing ~master_seed () in
-  let par_s = Rd_util.Timing.now () -. t1 in
+  let seq_s = Rd_util.Trace.now () -. t0 in
+  let t1 = Rd_util.Trace.now () in
+  let nets = Rd_study.Population.build ~jobs ~master_seed () in
+  let par_s = Rd_util.Trace.now () -. t1 in
+  let trace = Rd_util.Trace.create () in
+  let metrics = Rd_util.Metrics.create () in
+  let t2 = Rd_util.Trace.now () in
+  let nets_obs = Rd_study.Population.build ~jobs ~trace ~metrics ~master_seed () in
+  let obs_s = Rd_util.Trace.now () -. t2 in
   let summaries ns =
     List.map (fun (n : Rd_study.Population.network) -> Rd_core.Analysis.summary n.analysis) ns
   in
   let identical = summaries nets_seq = summaries nets in
-  section "Study build: sequential vs parallel";
+  let identical_obs = summaries nets_seq = summaries nets_obs in
+  let overhead = (obs_s /. par_s) -. 1.0 in
+  section "Study build: sequential vs parallel vs instrumented";
   Rd_util.Table.print
     ~headers:[ "build"; "jobs"; "wall (s)"; "speedup" ]
     ~aligns:[ Rd_util.Table.Left; Rd_util.Table.Right; Rd_util.Table.Right; Rd_util.Table.Right ]
@@ -64,12 +80,32 @@ let build_study () =
       [ "sequential"; "1"; Printf.sprintf "%.2f" seq_s; "1.00x" ];
       [ "parallel"; string_of_int jobs; Printf.sprintf "%.2f" par_s;
         Printf.sprintf "%.2fx" (seq_s /. par_s) ];
+      [ "parallel+trace+metrics"; string_of_int jobs; Printf.sprintf "%.2f" obs_s;
+        Printf.sprintf "%.2fx" (seq_s /. obs_s) ];
     ];
-  Printf.printf "cores available: %d; outputs byte-identical: %b\n"
-    (Domain.recommended_domain_count ()) identical;
+  Printf.printf "cores available: %d; outputs byte-identical: %b (instrumented: %b)\n"
+    (Domain.recommended_domain_count ()) identical identical_obs;
+  Printf.printf "tracer+metrics overhead: %+.1f%% of the untraced parallel build (target < 5%%)\n"
+    (100.0 *. overhead);
+  if overhead > 0.05 then
+    Printf.printf "WARNING: tracer overhead above the 5%% target\n";
   if not identical then failwith "parallel study build diverged from sequential build";
-  section "Per-stage wall time (parallel build, summed across networks)";
-  print_string (Rd_util.Timing.render timing);
+  if not identical_obs then failwith "instrumented study build diverged from sequential build";
+  section "Per-stage wall time (instrumented build, summed across networks)";
+  print_string (Rd_util.Trace.render_stages trace);
+  if !metrics_flag then begin
+    section "Metrics registry (instrumented build)";
+    print_string (Rd_util.Metrics.render metrics)
+  end;
+  if !trace_path <> "" then begin
+    Rd_util.Trace.to_file trace !trace_path;
+    Printf.printf "trace written to %s (%d spans)\n" !trace_path
+      (List.length (Rd_util.Trace.spans trace))
+  end;
+  if !metrics_json_path <> "" then begin
+    Rd_util.Json.to_file !metrics_json_path (Rd_util.Metrics.to_json metrics);
+    Printf.printf "metrics written to %s\n" !metrics_json_path
+  end;
   if !json_path <> "" then begin
     let stages =
       List.map
@@ -77,7 +113,7 @@ let build_study () =
           Rd_util.Json.Obj
             [ ("name", Rd_util.Json.String stage); ("total_s", Rd_util.Json.Float s);
               ("spans", Rd_util.Json.Int n) ])
-        (Rd_util.Timing.stages timing)
+        (Rd_util.Trace.stage_table trace)
     in
     Rd_util.Json.to_file !json_path
       (Rd_util.Json.Obj
@@ -88,8 +124,10 @@ let build_study () =
            ("networks", Rd_util.Json.Int (List.length nets));
            ("sequential_build_s", Rd_util.Json.Float seq_s);
            ("parallel_build_s", Rd_util.Json.Float par_s);
+           ("instrumented_build_s", Rd_util.Json.Float obs_s);
+           ("trace_overhead", Rd_util.Json.Float overhead);
            ("speedup", Rd_util.Json.Float (seq_s /. par_s));
-           ("identical", Rd_util.Json.Bool identical);
+           ("identical", Rd_util.Json.Bool (identical && identical_obs));
            ("stages", Rd_util.Json.List stages);
          ]);
     Printf.printf "json results written to %s\n" !json_path

@@ -318,12 +318,20 @@ let generate_cmd =
 (* --- study -------------------------------------------------------------- *)
 
 let study_cmd =
-  let run seed only jobs timing =
-    let timer = if timing then Some (Rd_util.Timing.create ()) else None in
+  let run seed only jobs timing trace_file metrics_flag metrics_json =
+    (* --timing is served from the same recorder as --trace; tracing and
+       metrics are purely observational, so study output is byte-identical
+       with or without them (the bench asserts this). *)
+    let trace =
+      if timing || trace_file <> None then Some (Rd_util.Trace.create ()) else None
+    in
+    let metrics =
+      if metrics_flag || metrics_json <> None then Some (Rd_util.Metrics.create ()) else None
+    in
     let nets =
       match only with
-      | [] -> Rd_study.Population.build ?timing:timer ~jobs ~master_seed:seed ()
-      | ids -> Rd_study.Population.build ?timing:timer ~only:ids ~jobs ~master_seed:seed ()
+      | [] -> Rd_study.Population.build ?trace ?metrics ~jobs ~master_seed:seed ()
+      | ids -> Rd_study.Population.build ?trace ?metrics ~only:ids ~jobs ~master_seed:seed ()
     in
     List.iter
       (fun (n : Rd_study.Population.network) ->
@@ -337,11 +345,39 @@ let study_cmd =
       print_string (Rd_study.Experiments.table3 nets);
       print_string (Rd_study.Experiments.fig11 nets)
     end;
-    match timer with
-    | Some t ->
-      Printf.printf "--- pipeline stage wall time (%d jobs) ---\n" jobs;
-      print_string (Rd_util.Timing.render t)
-    | None -> ()
+    (* The study proper never runs the reachability fixpoint; when metrics
+       were asked for, run it per network (results discarded) so the
+       reach.* fixpoint counters are populated. *)
+    (match metrics with
+     | None -> ()
+     | Some _ ->
+       List.iter
+         (fun (n : Rd_study.Population.network) ->
+           ignore (Rd_reach.Reachability.compute ?metrics n.analysis.graph))
+         nets);
+    (match trace with
+     | Some t when timing ->
+       Printf.printf "--- pipeline stage wall time (%d jobs) ---\n" jobs;
+       print_string (Rd_util.Trace.render_stages t)
+     | _ -> ());
+    (match (trace, trace_file) with
+     | Some t, Some path ->
+       Rd_util.Trace.to_file t path;
+       Printf.eprintf "trace written to %s (%d spans)\n" path
+         (List.length (Rd_util.Trace.spans t))
+     | _ -> ());
+    (match metrics with
+     | None -> ()
+     | Some m ->
+       if metrics_flag then begin
+         print_endline "--- metrics ---";
+         print_string (Rd_util.Metrics.render m)
+       end;
+       match metrics_json with
+       | Some path ->
+         Rd_util.Json.to_file path (Rd_util.Metrics.to_json m);
+         Printf.eprintf "metrics written to %s\n" path
+       | None -> ())
   in
   let seed_arg = Arg.(value & opt int 2004 & info [ "seed" ] ~docv:"SEED" ~doc:"Master seed.") in
   let only_arg =
@@ -350,14 +386,36 @@ let study_cmd =
   let jobs_arg =
     Arg.(value & opt int (Rd_util.Pool.default_jobs ())
          & info [ "j"; "jobs" ] ~docv:"N"
-             ~doc:"Worker domains for the parallel study build (default: \\$(b,RDNA_JOBS) or the \
+             ~doc:"Worker domains for the parallel study build (default: $(b,RDNA_JOBS) or the \
                    recommended domain count).")
   in
   let timing_arg =
-    Arg.(value & flag & info [ "timing" ] ~doc:"Report per-stage pipeline wall time.")
+    Arg.(value & flag
+         & info [ "timing" ]
+             ~doc:"Report per-stage pipeline wall time (aggregated from the span tracer).")
+  in
+  let trace_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Write a Chrome trace_event JSON timeline of the run to $(docv) (open in \
+                   chrome://tracing or Perfetto).  Nested spans cover each network's analyze \
+                   call, its pipeline stages, and pool tasks.")
+  in
+  let metrics_arg =
+    Arg.(value & flag
+         & info [ "metrics" ]
+             ~doc:"Collect parser/pool/instance/fixpoint metrics during the run and print the \
+                   registry snapshot as tables.  Also runs the per-network reachability \
+                   fixpoint (output unchanged) so reach.* counters are populated.")
+  in
+  let metrics_json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-json" ] ~docv:"FILE"
+             ~doc:"Like $(b,--metrics) but write the snapshot as JSON to $(docv).")
   in
   Cmd.v (Cmd.info "study" ~doc:"Run the 31-network study (paper §5-§7).")
-    Term.(const run $ seed_arg $ only_arg $ jobs_arg $ timing_arg)
+    Term.(const run $ seed_arg $ only_arg $ jobs_arg $ timing_arg $ trace_arg $ metrics_arg
+          $ metrics_json_arg)
 
 let () =
   let info = Cmd.info "rdna" ~version:"1.0.0" ~doc:"Routing design reverse engineering (SIGCOMM'04 reproduction)." in

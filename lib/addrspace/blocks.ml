@@ -31,10 +31,11 @@ let common_supernet a b =
   let rec go p = if Prefix.subset a p && Prefix.subset b p then p else go (Option.get (Prefix.parent p)) in
   go (Prefix.make (Prefix.addr a) (min (Prefix.len a) (Prefix.len b)))
 
-let discover ?(threshold = 0.5) subnets =
+let discover ?metrics ?(threshold = 0.5) subnets =
   if threshold <= 0.0 || threshold > 1.0 then invalid_arg "Blocks.discover: threshold";
   let subnets = List.sort_uniq Prefix.compare subnets in
   let used = Prefix_set.of_prefixes subnets in
+  let merges = ref 0 in
   let qualifies p = float_of_int (coverage used p) >= threshold *. float_of_int (Prefix.size p) in
   (* The paper's pairwise join: two blocks may merge into their common
      supernet when the supernet grows the smaller mask by at most two bits
@@ -50,11 +51,19 @@ let discover ?(threshold = 0.5) subnets =
     match stack with
     | top :: rest -> (
       match try_merge top p with
-      | Some sup -> push rest sup
+      | Some sup ->
+        incr merges;
+        push rest sup
       | None -> p :: stack)
     | [] -> [ p ]
   in
   let merged = List.rev (List.fold_left push [] subnets) in
+  (match metrics with
+   | None -> ()
+   | Some _ ->
+     Rd_util.Metrics.incr metrics ~by:(List.length subnets) "blocks.subnets";
+     Rd_util.Metrics.incr metrics ~by:!merges "blocks.merges";
+     Rd_util.Metrics.incr metrics ~by:(List.length merged) "blocks.blocks");
   List.map
     (fun p ->
       {

@@ -16,10 +16,12 @@ type block = {
   subnets : Prefix.t list;  (** the original subnets inside the block. *)
 }
 
-val discover : ?threshold:float -> Prefix.t list -> block list
+val discover : ?metrics:Rd_util.Metrics.t -> ?threshold:float -> Prefix.t list -> block list
 (** [discover subnets] with [threshold] defaulting to the paper's 0.5.
     Returns maximal blocks in address order.  [threshold] must be in
-    (0, 1]. *)
+    (0, 1].  [metrics] accumulates the [blocks.subnets],
+    [blocks.merges] (pairwise joins performed), and [blocks.blocks]
+    counters. *)
 
 val subnets_of_configs : (string * Rd_config.Ast.t) list -> Prefix.t list
 (** Every subnet mentioned in the configurations: interface subnets and

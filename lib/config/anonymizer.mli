@@ -20,8 +20,13 @@
     All mappings are keyed: the same [key] reproduces the same mapping. *)
 
 type t
+(** Anonymization state: the key plus the memoized token, address and AS
+    mappings built so far. *)
 
 val create : key:string -> t
+(** [create ~key] starts a fresh mapping.  The same [key] reproduces the
+    same mapping on every run, so a network's files stay mutually
+    consistent when anonymized one at a time. *)
 
 val anonymize_addr : t -> Rd_addr.Ipv4.t -> Rd_addr.Ipv4.t
 (** Prefix-preserving address mapping. *)

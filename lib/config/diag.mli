@@ -25,6 +25,7 @@ val severity_to_string : severity -> string
 (** ["error"], ["warning"], ["info"]. *)
 
 val make : ?file:string -> ?line:int -> severity -> code:string -> string -> t
+(** Build a diagnostic value directly (no collector involved). *)
 
 (** {1 Collectors} *)
 
@@ -36,6 +37,7 @@ val create : ?file:string -> unit -> collector
     through this collector (unless the addition overrides it). *)
 
 val add : collector -> t -> unit
+(** Append an already-built diagnostic. *)
 
 val report :
   collector -> ?file:string -> ?line:int -> severity -> code:string ->
@@ -57,6 +59,7 @@ val counts : t list -> int * int * int
 (** [(errors, warnings, infos)]. *)
 
 val has_errors : t list -> bool
+(** Whether any diagnostic has severity {!Error}. *)
 
 val location : t -> string
 (** ["file:line"], with ["-"] for missing parts. *)

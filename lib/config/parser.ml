@@ -572,7 +572,26 @@ let sub_level st mode (l : Lexer.line) : mode =
     | [] -> mode)
   | In_route_map (name, e) -> In_route_map (name, route_map_sub e l st)
 
-let parse_with_diags ?file text =
+(* One batched metrics update per file (not per line): parser counters
+   are bumped from pool workers, so per-line updates would contend on
+   the registry mutex. *)
+let record_metrics metrics (ast : Ast.t) diags =
+  match metrics with
+  | None -> ()
+  | Some _ ->
+    Rd_util.Metrics.incr metrics "parse.files";
+    Rd_util.Metrics.incr metrics ~by:ast.total_lines "parse.lines";
+    Rd_util.Metrics.incr metrics ~by:ast.command_count "parse.commands";
+    Rd_util.Metrics.incr metrics ~by:(List.length ast.unknown) "parse.unknown_lines";
+    let per_code = Hashtbl.create 8 in
+    List.iter
+      (fun (d : Diag.t) ->
+        Hashtbl.replace per_code d.code
+          (1 + Option.value ~default:0 (Hashtbl.find_opt per_code d.code)))
+      diags;
+    Hashtbl.iter (fun code n -> Rd_util.Metrics.incr metrics ~by:n ("diag." ^ code)) per_code
+
+let parse_with_diags ?file ?metrics text =
   let st = fresh ?file () in
   let lines = Lexer.lines_of_string text in
   let mode = ref Top in
@@ -641,7 +660,8 @@ let parse_with_diags ?file text =
         { Ast.pl_name = name; pl_entries = entries })
       st.prefix_lists
   in
-  ( {
+  let ast =
+    {
       Ast.hostname = st.hostname;
       interfaces;
       processes;
@@ -653,8 +673,11 @@ let parse_with_diags ?file text =
       command_count;
       unknown = List.rev st.unknown;
       vty_acls = List.rev st.vty_acls;
-    },
-    Diag.to_list st.diag )
+    }
+  in
+  let diags = Diag.to_list st.diag in
+  record_metrics metrics ast diags;
+  (ast, diags)
 
 let parse text = fst (parse_with_diags text)
 

@@ -10,7 +10,8 @@ val parse : string -> Ast.t
 (** Parse a whole configuration file.  Never raises on unknown commands;
     malformed arguments of known commands demote the line to [unknown]. *)
 
-val parse_with_diags : ?file:string -> string -> Ast.t * Diag.t list
+val parse_with_diags :
+  ?file:string -> ?metrics:Rd_util.Metrics.t -> string -> Ast.t * Diag.t list
 (** Like {!parse}, but also returns the diagnostics the parser produced:
     every line that lands in [Ast.unknown] comes back as a coded, located
     diagnostic.  Unmodelled commands report as [Warning]
@@ -18,7 +19,11 @@ val parse_with_diags : ?file:string -> string -> Ast.t * Diag.t list
     [parse-orphan-subcommand]); modeled commands whose arguments could
     not be parsed — real data loss — report as [Error]
     ([parse-bad-address], [parse-bad-acl-clause], [parse-bad-route], ...).
-    [file] stamps the file name onto each diagnostic. *)
+    [file] stamps the file name onto each diagnostic.  [metrics] bumps
+    the [parse.files]/[parse.lines]/[parse.commands]/
+    [parse.unknown_lines] counters plus one [diag.<code>] counter per
+    diagnostic code, batched once per file so pool workers do not
+    contend. *)
 
 val parse_file : string -> Ast.t
 (** Read a file from disk and parse it.  Raises [Sys_error] on IO

@@ -9,32 +9,51 @@ type t = {
   diags : Rd_config.Diag.t list;
 }
 
-let time timing stage f =
-  match timing with None -> f () | Some t -> Rd_util.Timing.span t stage f
+(* Every stage span carries the network name so per-network timelines
+   can be pulled apart in a merged trace; the enclosing "analyze" span
+   (category "network") is what the study counts per network. *)
+let stage ?trace ~network name f =
+  Rd_util.Trace.span ~cat:"stage"
+    ~args:[ ("network", Rd_util.Trace.String network) ]
+    trace name f
 
-let analyze_asts ?timing ?(diags = []) ~name configs =
-  let topo = time timing "topology" (fun () -> Rd_topo.Topology.build configs) in
-  let catalog = time timing "catalog" (fun () -> Rd_routing.Process.build topo) in
-  let graph = time timing "instance-graph" (fun () -> Rd_routing.Instance_graph.build catalog) in
-  let blocks =
-    time timing "blocks" (fun () ->
-        Rd_addrspace.Blocks.discover (Rd_addrspace.Blocks.subnets_of_configs configs))
+let network_span ?trace ~name f =
+  Rd_util.Trace.span ~cat:"network"
+    ~args:[ ("network", Rd_util.Trace.String name) ]
+    trace "analyze" f
+
+let run_stages ?trace ?metrics ~diags ~name configs =
+  let stage n f = stage ?trace ~network:name n f in
+  let topo = stage "topology" (fun () -> Rd_topo.Topology.build configs) in
+  let catalog = stage "catalog" (fun () -> Rd_routing.Process.build topo) in
+  let graph =
+    stage "instance-graph" (fun () -> Rd_routing.Instance_graph.build ?metrics catalog)
   in
-  let filter_stats = time timing "filter-stats" (fun () -> Rd_policy.Filter_stats.analyze topo) in
+  let blocks =
+    stage "blocks" (fun () ->
+        Rd_addrspace.Blocks.discover ?metrics (Rd_addrspace.Blocks.subnets_of_configs configs))
+  in
+  let filter_stats = stage "filter-stats" (fun () -> Rd_policy.Filter_stats.analyze topo) in
+  Rd_util.Metrics.incr metrics "analysis.networks";
+  Rd_util.Metrics.incr metrics ~by:(Array.length topo.routers) "analysis.routers";
   { name; configs; topo; catalog; graph; blocks; filter_stats; diags }
 
-let analyze ?timing ?jobs ~name files =
-  let parsed =
-    time timing "parse" (fun () ->
-        Rd_util.Pool.parallel_map ?jobs
-          (fun (f, text) ->
-            let ast, ds = Rd_config.Parser.parse_with_diags ~file:f text in
-            ((f, ast), ds))
-          files)
-  in
-  let asts = List.map fst parsed in
-  let diags = List.concat_map snd parsed in
-  analyze_asts ?timing ~diags ~name asts
+let analyze_asts ?trace ?metrics ?(diags = []) ~name configs =
+  network_span ?trace ~name (fun () -> run_stages ?trace ?metrics ~diags ~name configs)
+
+let analyze ?trace ?metrics ?jobs ~name files =
+  network_span ?trace ~name (fun () ->
+      let parsed =
+        stage ?trace ~network:name "parse" (fun () ->
+            Rd_util.Pool.parallel_map ?jobs ?trace ?metrics
+              (fun (f, text) ->
+                let ast, ds = Rd_config.Parser.parse_with_diags ?metrics ~file:f text in
+                ((f, ast), ds))
+              files)
+      in
+      let asts = List.map fst parsed in
+      let diags = List.concat_map snd parsed in
+      run_stages ?trace ?metrics ~diags ~name asts)
 
 let router_count t = Array.length t.topo.routers
 

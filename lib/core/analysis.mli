@@ -18,17 +18,25 @@ type t = {
       (** parse diagnostics from every file, in file order. *)
 }
 
-val analyze : ?timing:Rd_util.Timing.t -> ?jobs:int -> name:string -> (string * string) list -> t
+val analyze :
+  ?trace:Rd_util.Trace.t -> ?metrics:Rd_util.Metrics.t -> ?jobs:int ->
+  name:string -> (string * string) list -> t
 (** [analyze ~name files] where [files] are (file name, raw configuration
     text) pairs.  Parsing fans out across [jobs] pool workers (default
     {!Rd_util.Pool.default_jobs}; order-preserving, so the result is
     identical to a sequential parse).  Parse problems are collected into
-    [diags] rather than lost.  When [timing] is given, each pipeline
-    stage ([parse], [topology], [catalog], [instance-graph], [blocks],
-    [filter-stats]) charges its wall time to the recorder. *)
+    [diags] rather than lost.
+
+    When [trace] is given, the whole call is wrapped in one ["analyze"]
+    span (category ["network"]) and each pipeline stage ([parse],
+    [topology], [catalog], [instance-graph], [blocks], [filter-stats])
+    gets its own span (category ["stage"], with the network name as a
+    span argument).  When [metrics] is given, parser, pool, instance,
+    and address-block counters accumulate into the registry.  Both are
+    purely observational: results are identical with or without them. *)
 
 val analyze_asts :
-  ?timing:Rd_util.Timing.t -> ?diags:Rd_config.Diag.t list ->
+  ?trace:Rd_util.Trace.t -> ?metrics:Rd_util.Metrics.t -> ?diags:Rd_config.Diag.t list ->
   name:string -> (string * Rd_config.Ast.t) list -> t
 (** Entry point when configurations are already parsed; [diags] carries
     any diagnostics collected while parsing them. *)

@@ -52,3 +52,5 @@ val run_all : Analysis.t -> finding list
 (** Every check, Warnings first. *)
 
 val render : finding list -> string
+(** Aligned table (severity, category, router, message);
+    ["no findings\n"] when empty. *)

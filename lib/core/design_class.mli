@@ -28,5 +28,8 @@ type evidence = {
 }
 
 val classify : Analysis.t -> evidence
+(** Classify an analyzed network, returning the verdict together with the
+    measurements it was based on. *)
 
 val design_to_string : design -> string
+(** ["backbone"], ["enterprise"], ["unclassifiable"]. *)

@@ -17,6 +17,7 @@ type router_record = {
 }
 
 val records : Analysis.t -> router_record list
+(** One record per router, in router order. *)
 
 val report : Analysis.t -> string
 (** Per-router inventory plus the address-block table. *)
@@ -31,5 +32,11 @@ type delta = {
 }
 
 val diff : old_snapshot:Analysis.t -> new_snapshot:Analysis.t -> delta
+(** Equipment and addressing changes between two snapshots of the same
+    network. *)
+
 val render_delta : delta -> string
+(** Human-readable change report. *)
+
 val is_empty_delta : delta -> bool
+(** Whether nothing changed between the snapshots. *)

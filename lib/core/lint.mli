@@ -44,3 +44,4 @@ val render : Rd_config.Diag.t list -> string
 (** Table rendering (delegates to {!Rd_config.Diag.render}). *)
 
 val to_json : Rd_config.Diag.t list -> Rd_util.Json.t
+(** JSON array rendering (delegates to {!Rd_config.Diag.to_json}). *)

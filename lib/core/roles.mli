@@ -8,6 +8,7 @@
 open Rd_config
 
 type role = Intra | Inter
+(** Intra-domain vs inter-domain use of a protocol instance. *)
 
 type counts = {
   ospf : int * int;  (** (intra, inter) instance counts. *)
@@ -21,14 +22,21 @@ val instance_role : Analysis.t -> Rd_routing.Instance.t -> role
 (** Role of a non-BGP instance. *)
 
 val count : Analysis.t -> counts
+(** Per-protocol (intra, inter) tallies for one network — one row of the
+    paper's Table 1. *)
 
 val add : counts -> counts -> counts
+(** Pointwise sum, for aggregating across networks. *)
+
 val zero : counts
+(** All-zero tallies (identity for {!add}). *)
 
 val uses_bgp : Analysis.t -> bool
+(** Whether any router in the network runs a BGP process. *)
 
 val total_conventional_fraction : counts -> float * float
 (** (fraction of IGP instances used intra, fraction of EBGP sessions used
     inter) — the paper reports both near 0.9. *)
 
 val protocol_of_instance : Rd_routing.Instance.t -> Ast.protocol
+(** Protocol of the instance's member processes. *)

@@ -77,7 +77,7 @@ let origins_bulk (g : Instance_graph.t) =
 
 let origin_of_instance (g : Instance_graph.t) inst_id = (origins_bulk g).(inst_id)
 
-let compute ?(external_offers = Prefix_set.full) (g : Instance_graph.t) =
+let compute ?metrics ?(external_offers = Prefix_set.full) (g : Instance_graph.t) =
   let origins = origins_bulk g in
   let routes = Array.map (fun s -> s) origins in
   let changed = ref true in
@@ -115,6 +115,12 @@ let compute ?(external_offers = Prefix_set.full) (g : Instance_graph.t) =
         | _ -> acc)
       [] g.edges
   in
+  (match metrics with
+   | None -> ()
+   | Some _ ->
+     Rd_util.Metrics.incr metrics "reach.computations";
+     Rd_util.Metrics.incr metrics ~by:!iterations "reach.fixpoint_iterations";
+     Rd_util.Metrics.observe metrics "reach.iterations" (float_of_int !iterations));
   { graph = g; origins; routes; advertised; iterations = !iterations }
 
 let routes_of t i = t.routes.(i)

@@ -21,10 +21,14 @@ type t = {
   iterations : int;  (** fixpoint rounds used. *)
 }
 
-val compute : ?external_offers:Prefix_set.t -> Rd_routing.Instance_graph.t -> t
+val compute :
+  ?metrics:Rd_util.Metrics.t -> ?external_offers:Prefix_set.t ->
+  Rd_routing.Instance_graph.t -> t
 (** [external_offers] is the route set the outside world presents on every
     inbound edge (default: the full address space — the Internet offers a
-    route to everything). *)
+    route to everything).  [metrics] accumulates [reach.computations] and
+    [reach.fixpoint_iterations] counters plus a per-call
+    [reach.iterations] histogram. *)
 
 val origin_of_instance : Rd_routing.Instance_graph.t -> int -> Prefix_set.t
 (** Connected subnets attached to an instance: subnets of interfaces

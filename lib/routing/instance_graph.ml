@@ -127,7 +127,7 @@ let session_filter catalog (p : Process.t) (q : Process.t) =
 
 (* --- construction ------------------------------------------------------- *)
 
-let build (catalog : Process.catalog) =
+let build ?metrics (catalog : Process.catalog) =
   let adjacency = Adjacency.compute catalog in
   let assignment = Instance.compute catalog adjacency in
   let inst_of pid = assignment.of_process.(pid) in
@@ -253,6 +253,18 @@ let build (catalog : Process.catalog) =
            }
         :: !edges)
     adjacency.igp_external_edges;
+  (match metrics with
+   | None -> ()
+   | Some _ ->
+     Rd_util.Metrics.incr metrics ~by:(Array.length assignment.instances) "instance.instances";
+     Array.iter
+       (fun i ->
+         Rd_util.Metrics.observe metrics "instance.size" (float_of_int (Instance.size i)))
+       assignment.instances;
+     Rd_util.Metrics.incr metrics ~by:(List.length !edges) "instance.graph_edges";
+     Rd_util.Metrics.incr metrics
+       ~by:(List.length adjacency.adjacencies)
+       "instance.adjacencies");
   {
     catalog;
     assignment;

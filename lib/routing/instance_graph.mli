@@ -40,7 +40,10 @@ type t = {
       (** (instance, router, redistribute) for connected/static sources. *)
 }
 
-val build : Process.catalog -> t
+val build : ?metrics:Rd_util.Metrics.t -> Process.catalog -> t
+(** Construct the graph.  [metrics] accumulates [instance.instances],
+    a per-instance [instance.size] histogram, [instance.graph_edges],
+    and [instance.adjacencies]. *)
 
 val instances : t -> Instance.t array
 

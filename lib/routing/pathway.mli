@@ -16,7 +16,10 @@ type t = {
       (** some pathway reaches the external world. *)
 }
 
-val build : Instance_graph.t -> router:int -> t
+val build : ?metrics:Rd_util.Metrics.t -> Instance_graph.t -> router:int -> t
+(** BFS upstream from [router].  [metrics] accumulates
+    [pathway.builds] plus [pathway.frontier_peak] (largest BFS queue)
+    and [pathway.vertices] histograms. *)
 
 val instances_feeding : t -> int list
 (** Instance ids on some pathway, ascending. *)

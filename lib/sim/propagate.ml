@@ -96,7 +96,10 @@ let local_rib_of (cfg : Ast.t) =
     cfg.statics;
   !rib
 
-let run ?(external_prefixes = [ Prefix.default ]) (graph : Process_graph.t) =
+let run ?metrics ?(external_prefixes = [ Prefix.default ]) (graph : Process_graph.t) =
+  (* Batched observability counters, flushed to the registry once at the
+     end of the run (per-route registry updates would dominate). *)
+  let installed = ref 0 and redist_events = ref 0 in
   let catalog = graph.catalog in
   let nproc = Array.length catalog.processes in
   let nrouter = Array.length catalog.topo.routers in
@@ -164,6 +167,7 @@ let run ?(external_prefixes = [ Prefix.default ]) (graph : Process_graph.t) =
     let rib' = Rib.add proc_ribs.(pid) r in
     if not (before = Rib.find rib' r.dest) then begin
       proc_ribs.(pid) <- rib';
+      incr installed;
       changed := true
     end
   in
@@ -310,6 +314,7 @@ let run ?(external_prefixes = [ Prefix.default ]) (graph : Process_graph.t) =
           match r with
           | Some r ->
             let r = match rd.metric with Some m -> { r with Rib.metric = m } | None -> r in
+            incr redist_events;
             add_to_proc dst r
           | None -> ())
         source_routes)
@@ -369,6 +374,13 @@ let run ?(external_prefixes = [ Prefix.default ]) (graph : Process_graph.t) =
         let base = local_ribs.(ri) in
         List.fold_left (fun acc pid -> Rib.merge acc proc_ribs.(pid)) base catalog.by_router.(ri))
   in
+  (match metrics with
+   | None -> ()
+   | Some _ ->
+     Rd_util.Metrics.incr metrics "propagate.runs";
+     Rd_util.Metrics.incr metrics ~by:!iterations "propagate.fixpoint_iterations";
+     Rd_util.Metrics.incr metrics ~by:!installed "propagate.routes_installed";
+     Rd_util.Metrics.incr metrics ~by:!redist_events "propagate.redistributions");
   { graph; proc_ribs; local_ribs; router_ribs; iterations = !iterations }
 
 let rib_of_process t pid = t.proc_ribs.(pid)

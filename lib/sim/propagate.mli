@@ -21,10 +21,16 @@ type t = {
   iterations : int;
 }
 
-val run : ?external_prefixes:Prefix.t list -> Rd_routing.Process_graph.t -> t
+val run :
+  ?metrics:Rd_util.Metrics.t -> ?external_prefixes:Prefix.t list ->
+  Rd_routing.Process_graph.t -> t
 (** [external_prefixes] simulates the routes offered by external peers on
     every external BGP peering and IGP edge link (default: a single
-    0.0.0.0/0). *)
+    0.0.0.0/0).  [metrics] accumulates the [propagate.runs],
+    [propagate.fixpoint_iterations], [propagate.routes_installed]
+    (RIB-changing installs), and [propagate.redistributions] (routes
+    offered across a redistribution edge) counters, flushed once per
+    run. *)
 
 val rib_of_process : t -> int -> Rib.t
 val rib_of_router : t -> int -> Rib.t

@@ -76,25 +76,27 @@ let generate_one spec =
 
 type network = { spec : spec; analysis : Rd_core.Analysis.t }
 
-let build_network ?timing ?jobs spec =
-  let time stage f =
-    match timing with None -> f () | Some t -> Rd_util.Timing.span t stage f
+let build_network ?trace ?metrics ?jobs spec =
+  let files =
+    Rd_util.Trace.span ~cat:"stage"
+      ~args:[ ("network", Rd_util.Trace.String spec.label) ]
+      trace "generate"
+      (fun () -> generate_one spec)
   in
-  let files = time "generate" (fun () -> generate_one spec) in
-  { spec; analysis = Rd_core.Analysis.analyze ?timing ?jobs ~name:spec.label files }
+  { spec; analysis = Rd_core.Analysis.analyze ?trace ?metrics ?jobs ~name:spec.label files }
 
 (* Each network is an independent, per-spec-seeded unit, so the
    population maps across the domain pool.  Inside a pool worker the
    per-network parse fan-out degrades to sequential (nested-pool
    guard), keeping the domain count bounded by [jobs]. *)
-let build ?only ?timing ?jobs ~master_seed () =
+let build ?only ?trace ?metrics ?jobs ~master_seed () =
   let all = specs ~master_seed in
   let wanted =
     match only with
     | None -> all
     | Some ids -> List.filter (fun s -> List.mem s.net_id ids) all
   in
-  Rd_util.Pool.parallel_map ?jobs (build_network ?timing ?jobs) wanted
+  Rd_util.Pool.parallel_map ?jobs ?trace ?metrics (build_network ?trace ?metrics ?jobs) wanted
 
 let repository_sizes ~master_seed ~count =
   let rng = Rd_util.Prng.create (master_seed + 777) in

@@ -27,12 +27,14 @@ val generate_one : spec -> (string * string) list
 
 type network = { spec : spec; analysis : Rd_core.Analysis.t }
 
-val build_network : ?timing:Rd_util.Timing.t -> ?jobs:int -> spec -> network
-(** Generate, render to text, re-parse, analyze.  [timing] additionally
-    records a [generate] stage ahead of the analysis stages. *)
+val build_network :
+  ?trace:Rd_util.Trace.t -> ?metrics:Rd_util.Metrics.t -> ?jobs:int -> spec -> network
+(** Generate, render to text, re-parse, analyze.  [trace] additionally
+    records a [generate] stage span ahead of the analysis stages. *)
 
 val build :
-  ?only:int list -> ?timing:Rd_util.Timing.t -> ?jobs:int -> master_seed:int -> unit -> network list
+  ?only:int list -> ?trace:Rd_util.Trace.t -> ?metrics:Rd_util.Metrics.t -> ?jobs:int ->
+  master_seed:int -> unit -> network list
 (** Build the population (or the networks whose ids are in [only]).
     Each network flows through the full text pipeline.  Networks build
     in parallel on [jobs] pool workers (default

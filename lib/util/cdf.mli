@@ -18,6 +18,7 @@ val points : t -> (float * float) list
 (** Sorted (value, cumulative fraction) step points. *)
 
 val size : t -> int
+(** Number of samples the CDF was built from. *)
 
 val plot : ?width:int -> ?height:int -> ?x_label:string -> t -> string
 (** ASCII art rendering of the CDF curve. *)

@@ -4,6 +4,7 @@
     every derived graph as DOT for rendering. *)
 
 type t
+(** A graph under construction: nodes, edges and cluster subgraphs. *)
 
 val create : ?directed:bool -> string -> t
 (** [create name] starts an empty graph.  Default directed. *)
@@ -13,8 +14,11 @@ val node : t -> ?label:string -> ?shape:string -> ?style:string -> string -> uni
     overwrites its attributes. *)
 
 val edge : t -> ?label:string -> ?style:string -> string -> string -> unit
+(** [edge g u v] adds an edge between node ids [u] and [v] with optional
+    attributes.  Endpoints need not have been declared with {!node}. *)
 
 val subgraph : t -> label:string -> string -> string list -> unit
 (** [subgraph g ~label id nodes] clusters existing node ids. *)
 
 val to_string : t -> string
+(** Render the accumulated graph as DOT source. *)

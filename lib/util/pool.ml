@@ -5,7 +5,12 @@
    index chunks and reassembles results in input order, so parallel maps
    are observably identical to [List.mapi].  Worker domains mark
    themselves via a DLS flag; a parallel map issued from inside a worker
-   runs sequentially instead of deadlocking on pool capacity. *)
+   runs sequentially instead of deadlocking on pool capacity.
+
+   When a recorder/registry is attached, [submit] wraps each task to
+   record a queue-wait histogram and a "task" span; workers flush their
+   domain-local span buffers just before exiting so every span recorded
+   inside the pool survives the join. *)
 
 type t = {
   size : int;
@@ -14,6 +19,10 @@ type t = {
   queue : (unit -> unit) Queue.t;
   mutable closed : bool;
   mutable domains : unit Domain.t list;
+  trace : Trace.t option;
+  metrics : Metrics.t option;
+  mutable busy_us : float; (* task wall-clock total; protected by [mutex] *)
+  started : float;
 }
 
 let in_worker_key : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
@@ -35,7 +44,12 @@ let rec worker_loop t =
   while Queue.is_empty t.queue && not t.closed do
     Condition.wait t.work_available t.mutex
   done;
-  if Queue.is_empty t.queue then Mutex.unlock t.mutex
+  if Queue.is_empty t.queue then begin
+    Mutex.unlock t.mutex;
+    (* Hand-off point: merge this domain's span buffers into their
+       recorders before the domain dies with them. *)
+    Trace.flush_current_domain ()
+  end
   else begin
     let task = Queue.pop t.queue in
     Mutex.unlock t.mutex;
@@ -43,7 +57,7 @@ let rec worker_loop t =
     worker_loop t
   end
 
-let create ?jobs () =
+let create ?jobs ?trace ?metrics () =
   let size = max 1 (match jobs with Some j -> j | None -> default_jobs ()) in
   let t =
     {
@@ -53,6 +67,10 @@ let create ?jobs () =
       queue = Queue.create ();
       closed = false;
       domains = [];
+      trace;
+      metrics;
+      busy_us = 0.0;
+      started = Trace.now ();
     }
   in
   t.domains <-
@@ -62,7 +80,26 @@ let create ?jobs () =
             worker_loop t));
   t
 
+let instrument t task =
+  match (t.trace, t.metrics) with
+  | None, None -> task
+  | _ ->
+    let enqueued = Trace.now () in
+    fun () ->
+      let start = Trace.now () in
+      Metrics.incr t.metrics "pool.tasks";
+      Metrics.observe t.metrics "pool.queue_wait_ms" ((start -. enqueued) *. 1e3);
+      let h = Trace.begin_span ~cat:"pool" t.trace "task" in
+      Fun.protect
+        ~finally:(fun () ->
+          Trace.end_span h;
+          let dur = Trace.now () -. start in
+          Metrics.observe t.metrics "pool.task_ms" (dur *. 1e3);
+          Mutex.protect t.mutex (fun () -> t.busy_us <- t.busy_us +. (dur *. 1e6)))
+        task
+
 let submit t task =
+  let task = instrument t task in
   Mutex.lock t.mutex;
   if t.closed then begin
     Mutex.unlock t.mutex;
@@ -78,10 +115,18 @@ let shutdown t =
   Condition.broadcast t.work_available;
   Mutex.unlock t.mutex;
   List.iter Domain.join t.domains;
-  t.domains <- []
+  t.domains <- [];
+  match t.metrics with
+  | None -> ()
+  | Some _ ->
+    let elapsed_us = (Trace.now () -. t.started) *. 1e6 in
+    Metrics.set t.metrics "pool.workers" (float_of_int t.size);
+    if elapsed_us > 0.0 then
+      Metrics.set t.metrics "pool.utilization"
+        (t.busy_us /. (elapsed_us *. float_of_int t.size))
 
-let with_pool ?jobs f =
-  let t = create ?jobs () in
+let with_pool ?jobs ?trace ?metrics f =
+  let t = create ?jobs ?trace ?metrics () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
 (* Tasks never outlive [mapi]: every chunk decrements [remaining] under
@@ -136,9 +181,10 @@ let mapi t f l =
 
 let map t f l = mapi t (fun _ x -> f x) l
 
-let parallel_mapi ?jobs f l =
+let parallel_mapi ?jobs ?trace ?metrics f l =
   let size = max 1 (match jobs with Some j -> j | None -> default_jobs ()) in
   if size <= 1 || List.length l <= 1 || in_worker () then List.mapi f l
-  else with_pool ~jobs:size (fun t -> mapi t f l)
+  else with_pool ~jobs:size ?trace ?metrics (fun t -> mapi t f l)
 
-let parallel_map ?jobs f l = parallel_mapi ?jobs (fun _ x -> f x) l
+let parallel_map ?jobs ?trace ?metrics f l =
+  parallel_mapi ?jobs ?trace ?metrics (fun _ x -> f x) l

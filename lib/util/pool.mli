@@ -4,14 +4,23 @@
     mutex/condition task queue.  The map combinators chunk the input by
     index and write results into a shared array, so output order always
     matches input order and a parallel map is observably identical to
-    its sequential counterpart — only wall-clock changes.  The first
-    exception raised by the mapped function is re-raised (with its
-    backtrace) in the calling domain.
+    its sequential counterpart — only wall-clock changes.  This is what
+    lets the parallel 31-network study (paper §2) promise byte-identical
+    output.  The first exception raised by the mapped function is
+    re-raised (with its backtrace) in the calling domain.
 
     Worker domains are flagged via domain-local storage: a parallel map
     issued from inside a pool task runs sequentially rather than
     deadlocking on pool capacity, so nested parallelism degrades
-    gracefully. *)
+    gracefully.
+
+    Pools cooperate with the observability layer: pass [?trace] and/or
+    [?metrics] to have every submitted task wrapped in a ["task"] span
+    (category ["pool"]) and counted into [pool.tasks],
+    [pool.queue_wait_ms], [pool.task_ms], [pool.workers], and
+    [pool.utilization].  Workers flush their domain-local {!Trace}
+    buffers before exiting, so spans recorded inside tasks always
+    survive the pool join. *)
 
 type t
 (** A running pool of worker domains. *)
@@ -23,9 +32,10 @@ val default_jobs : unit -> int
 val in_worker : unit -> bool
 (** [true] when called from inside a pool worker domain. *)
 
-val create : ?jobs:int -> unit -> t
+val create : ?jobs:int -> ?trace:Trace.t -> ?metrics:Metrics.t -> unit -> t
 (** [create ~jobs ()] spawns [max 1 jobs] worker domains
-    (default {!default_jobs}). *)
+    (default {!default_jobs}).  [?trace] and [?metrics] attach an
+    observability recorder/registry to every task run on the pool. *)
 
 val jobs : t -> int
 (** Number of worker domains. *)
@@ -36,9 +46,11 @@ val submit : t -> (unit -> unit) -> unit
     worker).  Raises [Invalid_argument] after {!shutdown}. *)
 
 val shutdown : t -> unit
-(** Drain the queue, stop and join all workers.  Idempotent. *)
+(** Drain the queue, stop and join all workers, then publish the
+    [pool.workers] and [pool.utilization] gauges when a metrics
+    registry is attached.  Idempotent. *)
 
-val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+val with_pool : ?jobs:int -> ?trace:Trace.t -> ?metrics:Metrics.t -> (t -> 'a) -> 'a
 (** [with_pool f] runs [f] with a fresh pool and always shuts it down. *)
 
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
@@ -48,9 +60,11 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
 
 val mapi : t -> (int -> 'a -> 'b) -> 'a list -> 'b list
 
-val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+val parallel_map :
+  ?jobs:int -> ?trace:Trace.t -> ?metrics:Metrics.t -> ('a -> 'b) -> 'a list -> 'b list
 (** One-shot convenience: create a pool, {!map}, shut down.  [~jobs:1]
     (or a singleton/empty list, or a nested call) short-circuits to
     [List.map] without spawning any domain. *)
 
-val parallel_mapi : ?jobs:int -> (int -> 'a -> 'b) -> 'a list -> 'b list
+val parallel_mapi :
+  ?jobs:int -> ?trace:Trace.t -> ?metrics:Metrics.t -> (int -> 'a -> 'b) -> 'a list -> 'b list

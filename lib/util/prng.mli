@@ -32,6 +32,7 @@ val float : t -> float -> float
 (** [float t x] is uniform in [\[0, x)]. *)
 
 val bool : t -> bool
+(** Fair coin flip. *)
 
 val bernoulli : t -> float -> bool
 (** [bernoulli t p] is [true] with probability [p]. *)

@@ -14,9 +14,16 @@ val stddev : float list -> float
 (** Population standard deviation; 0 on lists shorter than 2. *)
 
 val imean : int list -> float
+(** {!mean} over integer samples. *)
+
 val imedian : int list -> float
+(** {!median} over integer samples. *)
+
 val imin : int list -> int
+(** Smallest element; 0 on the empty list. *)
+
 val imax : int list -> int
+(** Largest element; 0 on the empty list. *)
 
 val histogram : edges:float list -> float list -> int array
 (** [histogram ~edges xs] counts samples per bucket.  With [edges]

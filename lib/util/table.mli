@@ -4,6 +4,7 @@
     the paper; this module does the alignment. *)
 
 type align = Left | Right
+(** Per-column alignment. *)
 
 val render : ?headers:string list -> ?aligns:align list -> string list list -> string
 (** [render ~headers rows] lays the rows out in aligned columns with a rule

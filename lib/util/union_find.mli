@@ -5,6 +5,7 @@
     union-find over processes. *)
 
 type t
+(** A disjoint-set forest over integer elements. *)
 
 val create : int -> t
 (** [create n] makes [n] singleton sets labelled [0 .. n-1]. *)
@@ -16,6 +17,7 @@ val union : t -> int -> int -> unit
 (** Merge two sets.  No-op if already together. *)
 
 val same : t -> int -> int -> bool
+(** [same t a b] iff [a] and [b] are currently in one set. *)
 
 val count : t -> int
 (** Number of distinct sets. *)

@@ -178,6 +178,57 @@ let test_parallel_build_deterministic () =
   Alcotest.(check string) "fig11 identical" (Rd_study.Experiments.fig11 seq)
     (Rd_study.Experiments.fig11 par)
 
+let test_traced_build_identical () =
+  (* tracing and metrics are purely observational: a traced build's
+     results are byte-identical to an untraced one, and the emitted
+     trace is valid Chrome trace_event JSON with one "analyze" span per
+     network *)
+  let subset = [ 1; 8; 15 ] in
+  let plain = Rd_study.Population.build ~only:subset ~jobs:2 ~master_seed:seed () in
+  let trace = Rd_util.Trace.create () in
+  let metrics = Rd_util.Metrics.create () in
+  let traced =
+    Rd_study.Population.build ~only:subset ~jobs:2 ~trace ~metrics ~master_seed:seed ()
+  in
+  List.iter2
+    (fun (a : Rd_study.Population.network) (b : Rd_study.Population.network) ->
+      Alcotest.(check string)
+        (Printf.sprintf "net%d summary identical under tracing" a.spec.net_id)
+        (Rd_core.Analysis.summary a.analysis)
+        (Rd_core.Analysis.summary b.analysis))
+    plain traced;
+  (* the trace document reparses and counts one analyze span per network *)
+  (match Rd_util.Json.of_string (Rd_util.Json.to_string (Rd_util.Trace.to_json trace)) with
+   | Error e -> Alcotest.failf "trace json does not reparse: %s" e
+   | Ok v -> (
+     match Rd_util.Json.member "traceEvents" v with
+     | Some (Rd_util.Json.List events) ->
+       let analyze_spans =
+         List.filter
+           (fun ev -> Rd_util.Json.member "name" ev = Some (Rd_util.Json.String "analyze"))
+           events
+       in
+       check_int "one analyze span per network" (List.length subset)
+         (List.length analyze_spans);
+       List.iter
+         (fun ev ->
+           check_bool "complete event" true
+             (Rd_util.Json.member "ph" ev = Some (Rd_util.Json.String "X")))
+         analyze_spans
+     | _ -> Alcotest.fail "traceEvents missing"));
+  (* metrics saw every network and every parsed file *)
+  check_bool "analysis.networks counter" true
+    (Rd_util.Metrics.counter_value metrics "analysis.networks" = Some (List.length subset));
+  let files =
+    List.fold_left (fun acc (n : Rd_study.Population.network) -> acc + n.spec.n) 0 traced
+  in
+  check_bool "parse.files counter" true
+    (Rd_util.Metrics.counter_value metrics "parse.files" = Some files);
+  check_bool "pool tasks counted" true
+    (match Rd_util.Metrics.counter_value metrics "pool.tasks" with
+     | Some n -> n > 0
+     | None -> false)
+
 let test_study_deterministic () =
   (* the same master seed regenerates identical configuration text *)
   let spec = List.find (fun (s : Rd_study.Population.spec) -> s.net_id = 13) specs in
@@ -237,6 +288,7 @@ let () =
         [
           Alcotest.test_case "paper invariants" `Slow test_full_study;
           Alcotest.test_case "parallel build determinism" `Quick test_parallel_build_deterministic;
+          Alcotest.test_case "traced build identical + trace json" `Quick test_traced_build_identical;
           Alcotest.test_case "determinism" `Quick test_study_deterministic;
           Alcotest.test_case "scorecard" `Slow test_scorecard;
           Alcotest.test_case "all 31 networks lint clean" `Slow test_full_study_lints_clean;

@@ -1,4 +1,5 @@
-(* Tests for rd_util: PRNG, SHA-1 (RFC 3174 vectors), union-find, max-flow,
+(* Tests for rd_util: PRNG, pool, trace spans, metrics registry, JSON
+   (emit + parse), SHA-1 (RFC 3174 vectors), union-find, max-flow,
    statistics, CDF, tables, DOT. *)
 
 open Rd_util
@@ -141,40 +142,154 @@ let test_pool_default_jobs_env () =
   check_bool "garbage falls back to cores" true (Pool.default_jobs () >= 1);
   Unix.putenv "RDNA_JOBS" (match saved with Some s -> s | None -> "")
 
-(* ------------------------------------------------------------- Timing --- *)
+(* -------------------------------------------------------------- Trace --- *)
 
-let test_timing_accumulates () =
-  let t = Timing.create () in
-  check_int "42" 42 (Timing.span t "stage-a" (fun () -> 42));
-  ignore (Timing.span t "stage-a" (fun () -> 1));
-  ignore (Timing.span t "stage-b" (fun () -> 2));
-  Timing.add t "stage-b" 1.5;
-  (match Timing.stages t with
-   | [ ("stage-a", a_total, 2); ("stage-b", b_total, 2) ] ->
-     check_bool "a total nonnegative" true (a_total >= 0.0);
-     check_bool "b includes manual add" true (b_total >= 1.5)
-   | sts -> Alcotest.failf "unexpected stages: %d entries" (List.length sts));
-  check_bool "total sums" true (Timing.total t >= 1.5);
-  check_bool "render has stages" true (String.length (Timing.render t) > 0);
-  Timing.reset t;
-  check_int "reset clears" 0 (List.length (Timing.stages t))
+let test_trace_nesting () =
+  let t = Trace.create () in
+  let tr = Some t in
+  let result =
+    Trace.span tr "outer" (fun () ->
+        Trace.span tr "inner" (fun () -> 21) + Trace.span tr "inner" (fun () -> 21))
+  in
+  check_int "result passes through" 42 result;
+  let spans = Trace.spans t in
+  check_int "three spans" 3 (List.length spans);
+  let depth name =
+    List.filter_map (fun (s : Trace.span) -> if s.name = name then Some s.depth else None) spans
+  in
+  Alcotest.(check (list int)) "outer at depth 0" [ 0 ] (depth "outer");
+  Alcotest.(check (list int)) "inners at depth 1" [ 1; 1 ] (depth "inner");
+  (match Trace.stage_table t with
+   | [ ("inner", inner_s, 2); ("outer", outer_s, 1) ] | [ ("outer", outer_s, 1); ("inner", inner_s, 2) ] ->
+     check_bool "outer covers inners" true (outer_s >= inner_s);
+     check_bool "nonnegative" true (inner_s >= 0.0)
+   | sts -> Alcotest.failf "unexpected stage table: %d entries" (List.length sts));
+  check_bool "total sums" true (Trace.total t >= 0.0);
+  check_bool "render has stages" true (String.length (Trace.render_stages t) > 0);
+  Trace.reset t;
+  check_int "reset clears" 0 (List.length (Trace.spans t))
 
-let test_timing_exception_safe () =
-  let t = Timing.create () in
-  (try ignore (Timing.span t "raising" (fun () -> failwith "x")) with Failure _ -> ());
-  match Timing.stages t with
-  | [ ("raising", _, 1) ] -> ()
+let test_trace_exception_safe () =
+  let t = Trace.create () in
+  (try ignore (Trace.span (Some t) "raising" (fun () -> failwith "x")) with Failure _ -> ());
+  match Trace.spans t with
+  | [ s ] -> check_string "span recorded on exception" "raising" s.name
   | _ -> Alcotest.fail "span not recorded on exception"
 
-let test_timing_domain_safe () =
-  let t = Timing.create () in
+let test_trace_none_is_noop () =
+  check_int "span on None" 7 (Trace.span None "x" (fun () -> 7));
+  check_int "span_with on None" 8 (Trace.span_with None "x" (fun _ -> []) (fun () -> 8));
+  Trace.end_span (Trace.begin_span None "y")
+
+let test_trace_merge_at_join () =
+  (* Spans recorded inside pool worker domains must survive the pool
+     join: workers flush their domain-local buffers on exit. *)
+  let t = Trace.create () in
   ignore
     (Pool.parallel_map ~jobs:4
-       (fun i -> Timing.span t "work" (fun () -> i))
+       (fun i -> Trace.span (Some t) "work" (fun () -> i))
        (List.init 64 (fun i -> i)));
-  match Timing.stages t with
+  match Trace.stage_table t with
   | [ ("work", _, 64) ] -> ()
-  | _ -> Alcotest.fail "concurrent spans lost"
+  | sts ->
+    Alcotest.failf "concurrent spans lost: %s"
+      (String.concat ","
+         (List.map (fun (n, _, c) -> Printf.sprintf "%s=%d" n c) sts))
+
+let test_trace_chrome_json () =
+  let t = Trace.create () in
+  ignore
+    (Trace.span ~cat:"network"
+       ~args:[ ("network", Trace.String "net1") ]
+       (Some t) "analyze"
+       (fun () -> Trace.span (Some t) "parse" (fun () -> 1)));
+  let json = Trace.to_json t in
+  (* the emitted document must be valid JSON in the trace_event shape *)
+  match Json.of_string (Json.to_string json) with
+  | Error e -> Alcotest.failf "emitted trace does not reparse: %s" e
+  | Ok v -> (
+    match Json.member "traceEvents" v with
+    | Some (Json.List events) ->
+      check_int "two events" 2 (List.length events);
+      List.iter
+        (fun ev ->
+          check_bool "ph is X" true (Json.member "ph" ev = Some (Json.String "X"));
+          check_bool "has ts" true (Json.member "ts" ev <> None);
+          check_bool "has dur" true (Json.member "dur" ev <> None))
+        events
+    | _ -> Alcotest.fail "no traceEvents array")
+
+(* ------------------------------------------------------------ Metrics --- *)
+
+let test_metrics_counters_gauges () =
+  let m = Metrics.create () in
+  let mo = Some m in
+  Metrics.incr mo "b.count";
+  Metrics.incr mo ~by:41 "a.count";
+  Metrics.incr mo "a.count";
+  Metrics.set mo "g.value" 1.5;
+  Metrics.set mo "g.value" 2.5;
+  check_bool "counter_value" true (Metrics.counter_value m "a.count" = Some 42);
+  check_bool "missing counter" true (Metrics.counter_value m "nope" = None);
+  let s = Metrics.snapshot m in
+  Alcotest.(check (list (pair string int)))
+    "counters sorted" [ ("a.count", 42); ("b.count", 1) ] s.counters;
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "gauge last-write-wins" [ ("g.value", 2.5) ] s.gauges;
+  (* one name, one kind *)
+  (try
+     Metrics.set mo "a.count" 1.0;
+     Alcotest.fail "kind clash not detected"
+   with Invalid_argument _ -> ());
+  (* None registry is a no-op *)
+  Metrics.incr None "x";
+  Metrics.set None "x" 0.0;
+  Metrics.observe None "x" 0.0;
+  Metrics.reset m;
+  check_bool "reset forgets" true (Metrics.counter_value m "a.count" = None)
+
+let test_metrics_histogram_bucketing () =
+  let m = Metrics.create () in
+  let mo = Some m in
+  let buckets = [| 1.0; 2.0; 5.0 |] in
+  (* boundary values land in the bucket whose bound they equal *)
+  List.iter (Metrics.observe ~buckets mo "h") [ 0.5; 1.0; 1.5; 2.0; 5.0; 7.0; 100.0 ];
+  match Metrics.find_histogram m "h" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some h ->
+    Alcotest.(check (list (pair (float 1e-9) int)))
+      "bucket counts" [ (1.0, 2); (2.0, 2); (5.0, 1) ] h.buckets;
+    check_int "overflow" 2 h.overflow;
+    check_int "count" 7 h.count;
+    check_bool "min" true (h.min = 0.5);
+    check_bool "max" true (h.max = 100.0);
+    check_bool "sum" true (abs_float (h.sum -. 117.0) < 1e-9);
+    (* default buckets ladder is sorted ascending *)
+    let ok = ref true in
+    Array.iteri
+      (fun i b -> if i > 0 then ok := !ok && b > Metrics.default_buckets.(i - 1))
+      Metrics.default_buckets;
+    check_bool "default ladder ascending" true !ok
+
+let test_metrics_empty_histogram_render () =
+  let m = Metrics.create () in
+  check_string "no metrics" "(no metrics recorded)\n" (Metrics.render m);
+  Metrics.observe (Some m) "h" 3.0;
+  check_bool "render has table" true (String.length (Metrics.render m) > 0);
+  (* json reparses *)
+  match Json.of_string (Json.to_string (Metrics.to_json m)) with
+  | Ok v -> check_bool "has histograms" true (Json.member "histograms" v <> None)
+  | Error e -> Alcotest.failf "metrics json does not reparse: %s" e
+
+let test_metrics_domain_safe () =
+  let m = Metrics.create () in
+  ignore
+    (Pool.parallel_map ~jobs:4
+       (fun i ->
+         Metrics.incr (Some m) "n";
+         i)
+       (List.init 100 (fun i -> i)));
+  check_bool "all increments" true (Metrics.counter_value m "n" = Some 100)
 
 (* --------------------------------------------------------------- Json --- *)
 
@@ -196,6 +311,51 @@ let test_json_file () =
   close_in ic;
   Sys.remove path;
   check_string "file contents" "{\"x\": 7}" line
+
+let test_json_parse_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("null", Json.Null);
+        ("flags", Json.List [ Json.Bool true; Json.Bool false ]);
+        ("n", Json.Int (-42));
+        ("f", Json.Float 2.5);
+        ("s", Json.String "a\"b\\c\n\t");
+        ("nested", Json.Obj [ ("empty_list", Json.List []); ("empty_obj", Json.Obj []) ]);
+      ]
+  in
+  match Json.of_string (Json.to_string v) with
+  | Ok v' -> check_bool "round trip" true (v = v')
+  | Error e -> Alcotest.failf "round trip failed: %s" e
+
+let test_json_parse_details () =
+  check_bool "int stays int" true (Json.of_string "17" = Ok (Json.Int 17));
+  check_bool "exponent is float" true (Json.of_string "1e2" = Ok (Json.Float 100.0));
+  check_bool "fraction is float" true (Json.of_string "0.5" = Ok (Json.Float 0.5));
+  check_bool "whitespace ok" true
+    (Json.of_string " [ 1 , 2 ] " = Ok (Json.List [ Json.Int 1; Json.Int 2 ]));
+  check_bool "unicode escape" true (Json.of_string "\"\\u0041\"" = Ok (Json.String "A"));
+  check_bool "surrogate pair" true
+    (Json.of_string "\"\\ud83d\\ude00\"" = Ok (Json.String "\xf0\x9f\x98\x80"));
+  check_bool "member hit" true
+    (Json.member "a" (Json.Obj [ ("a", Json.Int 1) ]) = Some (Json.Int 1));
+  check_bool "member miss" true (Json.member "b" (Json.Obj [ ("a", Json.Int 1) ]) = None);
+  check_bool "member non-object" true (Json.member "a" (Json.Int 1) = None)
+
+let test_json_parse_errors () =
+  let is_error s =
+    match Json.of_string s with Error _ -> true | Ok _ -> false
+  in
+  check_bool "empty input" true (is_error "");
+  check_bool "trailing garbage" true (is_error "1 2");
+  check_bool "bad literal" true (is_error "tru");
+  check_bool "unterminated string" true (is_error "\"abc");
+  check_bool "missing colon" true (is_error "{\"a\" 1}");
+  check_bool "unpaired surrogate" true (is_error "\"\\ud83d\"");
+  check_bool "error carries offset" true
+    (match Json.of_string "[1,]" with
+     | Error e -> String.length e > 0 && String.sub e 0 9 = "at offset"
+     | Ok _ -> false)
 
 (* --------------------------------------------------------------- Sha1 --- *)
 
@@ -488,16 +648,28 @@ let () =
           Alcotest.test_case "persistent pool" `Quick test_pool_persistent;
           Alcotest.test_case "RDNA_JOBS env" `Quick test_pool_default_jobs_env;
         ] );
-      ( "timing",
+      ( "trace",
         [
-          Alcotest.test_case "accumulation" `Quick test_timing_accumulates;
-          Alcotest.test_case "exception safety" `Quick test_timing_exception_safe;
-          Alcotest.test_case "domain safety" `Quick test_timing_domain_safe;
+          Alcotest.test_case "span nesting" `Quick test_trace_nesting;
+          Alcotest.test_case "exception safety" `Quick test_trace_exception_safe;
+          Alcotest.test_case "None is a no-op" `Quick test_trace_none_is_noop;
+          Alcotest.test_case "merge at pool join" `Quick test_trace_merge_at_join;
+          Alcotest.test_case "chrome trace json" `Quick test_trace_chrome_json;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters and gauges" `Quick test_metrics_counters_gauges;
+          Alcotest.test_case "histogram bucketing" `Quick test_metrics_histogram_bucketing;
+          Alcotest.test_case "render and json" `Quick test_metrics_empty_histogram_render;
+          Alcotest.test_case "domain safety" `Quick test_metrics_domain_safe;
         ] );
       ( "json",
         [
           Alcotest.test_case "rendering" `Quick test_json_render;
           Alcotest.test_case "file output" `Quick test_json_file;
+          Alcotest.test_case "parse round trip" `Quick test_json_parse_roundtrip;
+          Alcotest.test_case "parse details" `Quick test_json_parse_details;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
         ] );
       ( "sha1",
         [
