@@ -9,6 +9,23 @@ open Cmdliner
 
 (* --- shared helpers ----------------------------------------------------- *)
 
+let die ~code fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "rdna: error [%s]: %s\n" code msg;
+      exit 1)
+    fmt
+
+(* Failures an entry point can legitimately hit — unreadable input,
+   injected chaos, a blown budget — become one-line coded errors on
+   stderr with exit 1.  A raw backtrace reaching the user is a bug. *)
+let guard f =
+  try f () with
+  | Sys_error msg -> die ~code:"io" "%s" msg
+  | Rd_util.Fault.Injected _ as e -> die ~code:"fault-injected" "%s" (Printexc.to_string e)
+  | Rd_util.Limits.Budget_exceeded _ as e ->
+    die ~code:"budget-exceeded" "%s" (Printexc.to_string e)
+
 let read_file path =
   let ic = open_in_bin path in
   let len = in_channel_length ic in
@@ -17,6 +34,8 @@ let read_file path =
   s
 
 let load_dir dir =
+  if not (Sys.file_exists dir) then die ~code:"no-such-dir" "%s: no such directory" dir;
+  if not (Sys.is_directory dir) then die ~code:"not-a-dir" "%s: not a directory" dir;
   Sys.readdir dir |> Array.to_list |> List.sort compare
   |> List.filter_map (fun f ->
        let path = Filename.concat dir f in
@@ -24,13 +43,17 @@ let load_dir dir =
 
 let analyze_dir dir = Rd_core.Analysis.analyze ~name:(Filename.basename dir) (load_dir dir)
 
+(* A plain string, not cmdliner's [dir] converter: the latter rejects a
+   missing directory with its own usage-style message and exit 124,
+   where every entry point must answer with a coded one-liner, exit 1. *)
 let dir_arg =
-  Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR" ~doc:"Directory of configuration files.")
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc:"Directory of configuration files.")
 
 (* --- parse -------------------------------------------------------------- *)
 
 let parse_cmd =
   let run dir strict =
+    guard @@ fun () ->
     let errors = ref 0 in
     List.iter
       (fun (name, text) ->
@@ -62,6 +85,7 @@ let parse_cmd =
 
 let lint_cmd =
   let run dir json jobs =
+    guard @@ fun () ->
     let diags = Rd_core.Lint.lint_files ~jobs (load_dir dir) in
     if json then print_endline (Rd_util.Json.to_string (Rd_core.Lint.to_json diags))
     else begin
@@ -88,6 +112,7 @@ let lint_cmd =
 
 let anonymize_cmd =
   let run dir key out =
+    guard @@ fun () ->
     let anonymizer = Rd_config.Anonymizer.create ~key in
     if not (Sys.file_exists out) then Sys.mkdir out 0o755;
     List.iteri
@@ -112,13 +137,14 @@ let anonymize_cmd =
 (* --- summary / instances ------------------------------------------------ *)
 
 let summary_cmd =
-  let run dir = print_string (Rd_core.Analysis.summary (analyze_dir dir)) in
+  let run dir = guard @@ fun () -> print_string (Rd_core.Analysis.summary (analyze_dir dir)) in
   Cmd.v
     (Cmd.info "summary" ~doc:"Full routing-design summary of a directory of configurations.")
     Term.(const run $ dir_arg)
 
 let instances_cmd =
   let run dir =
+    guard @@ fun () ->
     let a = analyze_dir dir in
     Array.iter
       (fun i -> print_endline (Rd_routing.Instance.to_string i))
@@ -134,6 +160,7 @@ let instances_cmd =
 
 let processes_cmd =
   let run dir =
+    guard @@ fun () ->
     let a = analyze_dir dir in
     print_string (Rd_routing.Process_graph.render (Rd_routing.Process_graph.build a.catalog))
   in
@@ -145,6 +172,7 @@ let processes_cmd =
 
 let roles_cmd =
   let run dir =
+    guard @@ fun () ->
     let a = analyze_dir dir in
     let c = Rd_core.Roles.count a in
     let row name (intra, inter) = [ name; string_of_int intra; string_of_int inter ] in
@@ -168,6 +196,7 @@ let roles_cmd =
 
 let areas_cmd =
   let run dir =
+    guard @@ fun () ->
     let a = analyze_dir dir in
     let infos = Rd_routing.Areas.analyze a.catalog a.graph.assignment in
     if infos = [] then print_endline "no OSPF instances"
@@ -180,9 +209,10 @@ let areas_cmd =
 
 let pathway_cmd =
   let run dir router =
+    guard @@ fun () ->
     let a = analyze_dir dir in
     match Rd_topo.Topology.router_index a.topo router with
-    | None -> prerr_endline ("no such router: " ^ router)
+    | None -> die ~code:"no-such-router" "%s: no such router" router
     | Some ri ->
       print_string (Rd_routing.Pathway.render a.graph (Rd_routing.Pathway.build a.graph ~router:ri))
   in
@@ -196,13 +226,15 @@ let pathway_cmd =
 
 let reach_cmd =
   let run dir src dst =
-    let a = analyze_dir dir in
-    let r = Rd_reach.Reachability.compute a.graph in
+    guard @@ fun () ->
     match (Rd_addr.Ipv4.of_string src, Rd_addr.Ipv4.of_string dst) with
     | Some s, Some d ->
+      let a = analyze_dir dir in
+      let r = Rd_reach.Reachability.compute a.graph in
       Printf.printf "%s -> %s: %b\n" src dst (Rd_reach.Reachability.can_reach r ~src:s ~dst:d);
       Printf.printf "%s -> %s: %b\n" dst src (Rd_reach.Reachability.can_reach r ~src:d ~dst:s)
-    | _ -> prerr_endline "bad addresses"
+    | None, _ -> die ~code:"bad-address" "%s: not an IPv4 address" src
+    | _, None -> die ~code:"bad-address" "%s: not an IPv4 address" dst
   in
   let addr n doc = Arg.(required & pos n (some string) None & info [] ~docv:"ADDR" ~doc) in
   Cmd.v (Cmd.info "reach" ~doc:"Static reachability verdict between two addresses (§6.2).")
@@ -212,12 +244,14 @@ let reach_cmd =
 
 let dot_cmd =
   let run dir which =
-    let a = analyze_dir dir in
+    guard @@ fun () ->
     match which with
-    | "instances" -> print_string (Rd_routing.Instance_graph.to_dot a.graph)
+    | "instances" -> print_string (Rd_routing.Instance_graph.to_dot (analyze_dir dir).graph)
     | "processes" ->
-      print_string (Rd_routing.Process_graph.to_dot (Rd_routing.Process_graph.build a.catalog))
-    | other -> prerr_endline ("unknown graph: " ^ other ^ " (expected instances|processes)")
+      print_string
+        (Rd_routing.Process_graph.to_dot
+           (Rd_routing.Process_graph.build (analyze_dir dir).catalog))
+    | other -> die ~code:"unknown-graph" "%s: unknown graph (expected instances|processes)" other
   in
   let which_arg =
     Arg.(value & pos 1 string "instances" & info [] ~docv:"GRAPH" ~doc:"instances or processes.")
@@ -229,6 +263,7 @@ let dot_cmd =
 
 let audit_cmd =
   let run dir =
+    guard @@ fun () ->
     let findings = Rd_core.Audit.run_all (analyze_dir dir) in
     print_string (Rd_core.Audit.render findings);
     Printf.printf "%d findings\n" (List.length findings)
@@ -241,6 +276,7 @@ let audit_cmd =
 
 let inventory_cmd =
   let run dir against =
+    guard @@ fun () ->
     let a = analyze_dir dir in
     match against with
     | None -> print_string (Rd_core.Inventory.report a)
@@ -250,7 +286,7 @@ let inventory_cmd =
         (Rd_core.Inventory.render_delta (Rd_core.Inventory.diff ~old_snapshot:a ~new_snapshot:b))
   in
   let against_arg =
-    Arg.(value & opt (some dir) None & info [ "against" ] ~docv:"DIR" ~doc:"Diff against a newer snapshot directory.")
+    Arg.(value & opt (some string) None & info [ "against" ] ~docv:"DIR" ~doc:"Diff against a newer snapshot directory.")
   in
   Cmd.v
     (Cmd.info "inventory" ~doc:"Equipment/addressing inventory, or a snapshot diff (paper §8.1).")
@@ -260,15 +296,15 @@ let inventory_cmd =
 
 let whatif_cmd =
   let run dir remove_routers remove_links =
-    let a = analyze_dir dir in
+    guard @@ fun () ->
     let changes =
       List.map (fun r -> Rd_core.Whatif.Remove_router r) remove_routers
       @ List.filter_map
           (fun l -> Option.map (fun p -> Rd_core.Whatif.Remove_link p) (Rd_addr.Prefix.of_string l))
           remove_links
     in
-    if changes = [] then prerr_endline "nothing to change (use --remove-router/--remove-link)"
-    else print_string (Rd_core.Whatif.render (Rd_core.Whatif.run a changes))
+    if changes = [] then die ~code:"usage" "nothing to change (use --remove-router/--remove-link)"
+    else print_string (Rd_core.Whatif.render (Rd_core.Whatif.run (analyze_dir dir) changes))
   in
   let routers_arg =
     Arg.(value & opt_all string [] & info [ "remove-router" ] ~docv:"NAME" ~doc:"Take a router out of service.")
@@ -284,6 +320,7 @@ let whatif_cmd =
 
 let generate_cmd =
   let run arch n seed out =
+    guard @@ fun () ->
     let archetype =
       match arch with
       | "backbone" -> Rd_gen.Archetype.Backbone
@@ -318,7 +355,11 @@ let generate_cmd =
 (* --- study -------------------------------------------------------------- *)
 
 let study_cmd =
-  let run seed only jobs timing trace_file metrics_flag metrics_json =
+  let run seed only jobs timing trace_file metrics_flag metrics_json inject fail_fast
+      keep_going retries =
+    guard @@ fun () ->
+    if fail_fast && keep_going then
+      die ~code:"usage" "--fail-fast and --keep-going are mutually exclusive";
     (* --timing is served from the same recorder as --trace; tracing and
        metrics are purely observational, so study output is byte-identical
        with or without them (the bench asserts this). *)
@@ -328,10 +369,36 @@ let study_cmd =
     let metrics =
       if metrics_flag || metrics_json <> None then Some (Rd_util.Metrics.create ()) else None
     in
-    let nets =
-      match only with
-      | [] -> Rd_study.Population.build ?trace ?metrics ~jobs ~master_seed:seed ()
-      | ids -> Rd_study.Population.build ?trace ?metrics ~only:ids ~jobs ~master_seed:seed ()
+    let faults =
+      match inject with
+      | Some spec -> (
+        match Rd_util.Fault.of_spec spec with
+        | Ok f -> Some f
+        | Error msg -> die ~code:"bad-fault-spec" "--inject-faults: %s" msg)
+      | None -> (
+        match Rd_util.Fault.from_env () with
+        | Ok f -> f
+        | Error msg -> die ~code:"bad-fault-spec" "RDNA_FAULTS: %s" msg)
+    in
+    (match faults with Some f -> Rd_util.Fault.set_metrics f metrics | None -> ());
+    let only_opt = match only with [] -> None | ids -> Some ids in
+    (* Default discipline is keep-going: one bad network degrades into a
+       failed-network row while the other thirty print normally.
+       --fail-fast restores abort-on-first-failure (caught by [guard]). *)
+    let nets, failures, total =
+      if fail_fast then
+        let nets =
+          Rd_study.Population.build ?only:only_opt ?trace ?metrics ?faults ~jobs
+            ~master_seed:seed ()
+        in
+        (nets, [], List.length nets)
+      else
+        let results =
+          Rd_study.Population.build_results ?only:only_opt ?trace ?metrics ?faults ~retries
+            ~jobs ~master_seed:seed ()
+        in
+        let nets, failures = Rd_study.Population.partition results in
+        (nets, failures, List.length results)
     in
     List.iter
       (fun (n : Rd_study.Population.network) ->
@@ -345,6 +412,8 @@ let study_cmd =
       print_string (Rd_study.Experiments.table3 nets);
       print_string (Rd_study.Experiments.fig11 nets)
     end;
+    if failures <> [] then
+      print_string (Rd_study.Population.render_failures ~total failures);
     (* The study proper never runs the reachability fixpoint; when metrics
        were asked for, run it per network (results discarded) so the
        reach.* fixpoint counters are populated. *)
@@ -377,7 +446,8 @@ let study_cmd =
        | Some path ->
          Rd_util.Json.to_file path (Rd_util.Metrics.to_json m);
          Printf.eprintf "metrics written to %s\n" path
-       | None -> ())
+       | None -> ());
+    if failures <> [] then exit 1
   in
   let seed_arg = Arg.(value & opt int 2004 & info [ "seed" ] ~docv:"SEED" ~doc:"Master seed.") in
   let only_arg =
@@ -413,9 +483,36 @@ let study_cmd =
          & info [ "metrics-json" ] ~docv:"FILE"
              ~doc:"Like $(b,--metrics) but write the snapshot as JSON to $(docv).")
   in
+  let inject_arg =
+    Arg.(value & opt (some string) None
+         & info [ "inject-faults" ] ~docv:"SPEC"
+             ~doc:"Deterministic chaos: inject faults per $(docv) (e.g. \
+                   $(b,seed=7;study.network:raise:key=net4)); falls back to the \
+                   $(b,RDNA_FAULTS) environment variable.  See the Fault module for the \
+                   grammar.")
+  in
+  let fail_fast_arg =
+    Arg.(value & flag
+         & info [ "fail-fast" ]
+             ~doc:"Abort the whole study on the first network whose analysis fails, with a \
+                   coded error and exit 1 (the strict discipline).")
+  in
+  let keep_going_arg =
+    Arg.(value & flag
+         & info [ "keep-going" ]
+             ~doc:"Degrade per network (the default): failed networks are reported in a \
+                   trailing table, survivors print normally, and the exit status is 1 when \
+                   any network failed.")
+  in
+  let retries_arg =
+    Arg.(value & opt int 0
+         & info [ "retries" ] ~docv:"N"
+             ~doc:"Retry a failed network build up to $(docv) extra times before recording \
+                   it as failed (keep-going mode only).")
+  in
   Cmd.v (Cmd.info "study" ~doc:"Run the 31-network study (paper §5-§7).")
     Term.(const run $ seed_arg $ only_arg $ jobs_arg $ timing_arg $ trace_arg $ metrics_arg
-          $ metrics_json_arg)
+          $ metrics_json_arg $ inject_arg $ fail_fast_arg $ keep_going_arg $ retries_arg)
 
 let () =
   let info = Cmd.info "rdna" ~version:"1.0.0" ~doc:"Routing design reverse engineering (SIGCOMM'04 reproduction)." in

@@ -31,9 +31,10 @@ let common_supernet a b =
   let rec go p = if Prefix.subset a p && Prefix.subset b p then p else go (Option.get (Prefix.parent p)) in
   go (Prefix.make (Prefix.addr a) (min (Prefix.len a) (Prefix.len b)))
 
-let discover ?metrics ?(threshold = 0.5) subnets =
+let discover ?metrics ?(limits = Rd_util.Limits.default) ?(threshold = 0.5) subnets =
   if threshold <= 0.0 || threshold > 1.0 then invalid_arg "Blocks.discover: threshold";
   let subnets = List.sort_uniq Prefix.compare subnets in
+  Rd_util.Limits.check ~site:"blocks.subnets" ~budget:limits.max_subnets (List.length subnets);
   let used = Prefix_set.of_prefixes subnets in
   let merges = ref 0 in
   let qualifies p = float_of_int (coverage used p) >= threshold *. float_of_int (Prefix.size p) in

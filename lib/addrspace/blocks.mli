@@ -16,12 +16,17 @@ type block = {
   subnets : Prefix.t list;  (** the original subnets inside the block. *)
 }
 
-val discover : ?metrics:Rd_util.Metrics.t -> ?threshold:float -> Prefix.t list -> block list
+val discover :
+  ?metrics:Rd_util.Metrics.t -> ?limits:Rd_util.Limits.t -> ?threshold:float ->
+  Prefix.t list -> block list
 (** [discover subnets] with [threshold] defaulting to the paper's 0.5.
     Returns maximal blocks in address order.  [threshold] must be in
     (0, 1].  [metrics] accumulates the [blocks.subnets],
     [blocks.merges] (pairwise joins performed), and [blocks.blocks]
-    counters. *)
+    counters.  Raises {!Rd_util.Limits.Budget_exceeded} (site
+    ["blocks.subnets"]) when the deduplicated subnet count exceeds
+    [limits.max_subnets] (default {!Rd_util.Limits.default}) — callers
+    degrade that into a [budget-exceeded] diagnostic. *)
 
 val subnets_of_configs : (string * Rd_config.Ast.t) list -> Prefix.t list
 (** Every subnet mentioned in the configurations: interface subnets and

@@ -22,38 +22,84 @@ let network_span ?trace ~name f =
     ~args:[ ("network", Rd_util.Trace.String name) ]
     trace "analyze" f
 
-let run_stages ?trace ?metrics ~diags ~name configs =
-  let stage n f = stage ?trace ~network:name n f in
+let run_stages ?trace ?metrics ?faults ?(limits = Rd_util.Limits.default) ~diags ~name
+    configs =
+  (* Each stage doubles as a fault site (key = network name) so the chaos
+     suite can kill exactly one network's analysis mid-pipeline. *)
+  let stage n f =
+    stage ?trace ~network:name n (fun () ->
+        Rd_util.Fault.fault_point faults ~site:("analysis." ^ n) ~key:name;
+        f ())
+  in
   let topo = stage "topology" (fun () -> Rd_topo.Topology.build configs) in
   let catalog = stage "catalog" (fun () -> Rd_routing.Process.build topo) in
   let graph =
     stage "instance-graph" (fun () -> Rd_routing.Instance_graph.build ?metrics catalog)
   in
-  let blocks =
-    stage "blocks" (fun () ->
-        Rd_addrspace.Blocks.discover ?metrics (Rd_addrspace.Blocks.subnets_of_configs configs))
+  let blocks, diags =
+    match
+      stage "blocks" (fun () ->
+          Rd_addrspace.Blocks.discover ?metrics ~limits
+            (Rd_addrspace.Blocks.subnets_of_configs configs))
+    with
+    | blocks -> (blocks, diags)
+    | exception (Rd_util.Limits.Budget_exceeded _ as e) ->
+      (* A pathological addressing plan degrades to "no blocks" plus a
+         diagnostic; the rest of the analysis is unaffected. *)
+      ( [],
+        diags
+        @ [
+            Rd_config.Diag.make Rd_config.Diag.Error ~code:"budget-exceeded"
+              (Printexc.to_string e);
+          ] )
   in
   let filter_stats = stage "filter-stats" (fun () -> Rd_policy.Filter_stats.analyze topo) in
   Rd_util.Metrics.incr metrics "analysis.networks";
   Rd_util.Metrics.incr metrics ~by:(Array.length topo.routers) "analysis.routers";
   { name; configs; topo; catalog; graph; blocks; filter_stats; diags }
 
-let analyze_asts ?trace ?metrics ?(diags = []) ~name configs =
-  network_span ?trace ~name (fun () -> run_stages ?trace ?metrics ~diags ~name configs)
+let analyze_asts ?trace ?metrics ?faults ?limits ?(diags = []) ~name configs =
+  network_span ?trace ~name (fun () ->
+      run_stages ?trace ?metrics ?faults ?limits ~diags ~name configs)
 
-let analyze ?trace ?metrics ?jobs ~name files =
+let drop_diag file (fl : Rd_util.Pool.failure) =
+  let code =
+    match Rd_util.Limits.site_of_exn fl.exn with
+    | Some _ -> "budget-exceeded"
+    | None -> "config-failed"
+  in
+  Rd_config.Diag.make ~file Rd_config.Diag.Error ~code
+    (Printf.sprintf "configuration dropped: %s" (Printexc.to_string fl.exn))
+
+let analyze ?trace ?metrics ?jobs ?faults ?(limits = Rd_util.Limits.default) ~name files =
   network_span ?trace ~name (fun () ->
       let parsed =
         stage ?trace ~network:name "parse" (fun () ->
-            Rd_util.Pool.parallel_map ?jobs ?trace ?metrics
+            Rd_util.Pool.parallel_map_results ?jobs ?trace ?metrics ?faults
               (fun (f, text) ->
+                let key = name ^ "/" ^ f in
+                Rd_util.Fault.fault_point faults ~site:"parse.file" ~key;
+                Rd_util.Limits.check ~site:"parse.config-bytes"
+                  ~budget:limits.max_config_bytes (String.length text);
+                let text = Rd_util.Fault.corrupt faults ~site:"parse.bytes" ~key text in
                 let ast, ds = Rd_config.Parser.parse_with_diags ?metrics ~file:f text in
                 ((f, ast), ds))
               files)
       in
-      let asts = List.map fst parsed in
-      let diags = List.concat_map snd parsed in
-      run_stages ?trace ?metrics ~diags ~name asts)
+      (* A file whose parse task failed (oversized, or chaos-killed) is
+         dropped from the network rather than aborting it; the drop is
+         recorded as a coded diagnostic on that file. *)
+      let keep, dropped =
+        List.fold_left2
+          (fun (keep, dropped) (f, _) -> function
+            | Ok v -> (v :: keep, dropped)
+            | Error fl -> (keep, drop_diag f fl :: dropped))
+          ([], []) files parsed
+      in
+      let keep = List.rev keep and dropped = List.rev dropped in
+      let asts = List.map fst keep in
+      let diags = List.concat_map snd keep @ dropped in
+      run_stages ?trace ?metrics ?faults ~limits ~diags ~name asts)
 
 let router_count t = Array.length t.topo.routers
 
@@ -117,4 +163,12 @@ let summary t =
   (match Rd_config.Diag.counts t.diags with
    | 0, 0, 0 -> ()
    | e, w, i -> pf "  diagnostics: %d errors, %d warnings, %d notes\n" e w i);
+  let dropped =
+    List.length
+      (List.filter
+         (fun (d : Rd_config.Diag.t) ->
+           d.code = "config-failed" || (d.code = "budget-exceeded" && d.file <> None))
+         t.diags)
+  in
+  if dropped > 0 then pf "  degraded: %d configuration files dropped\n" dropped;
   Buffer.contents buf

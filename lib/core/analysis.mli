@@ -20,6 +20,7 @@ type t = {
 
 val analyze :
   ?trace:Rd_util.Trace.t -> ?metrics:Rd_util.Metrics.t -> ?jobs:int ->
+  ?faults:Rd_util.Fault.t -> ?limits:Rd_util.Limits.t ->
   name:string -> (string * string) list -> t
 (** [analyze ~name files] where [files] are (file name, raw configuration
     text) pairs.  Parsing fans out across [jobs] pool workers (default
@@ -27,16 +28,33 @@ val analyze :
     identical to a sequential parse).  Parse problems are collected into
     [diags] rather than lost.
 
+    The parse fan-out is supervised: a file whose parse task fails —
+    larger than [limits.max_config_bytes], or chaos-killed through
+    [faults] — is dropped from the network and recorded as an [Error]
+    diagnostic coded [config-failed] (or [budget-exceeded]) on that
+    file; the other files and every later stage proceed.  {!summary}
+    reports the drop count on a [degraded:] line.
+
+    Fault sites, all keyed so the chaos suite can target one network:
+    ["parse.file"] and ["parse.bytes"] (key [<name>/<file>]) around each
+    file's parse, and ["analysis.<stage>"] (key [<name>]) at the head of
+    every later stage — a fault there aborts the whole analysis, which
+    {!Rd_study.Population} degrades into a failed-network record.
+
     When [trace] is given, the whole call is wrapped in one ["analyze"]
     span (category ["network"]) and each pipeline stage ([parse],
     [topology], [catalog], [instance-graph], [blocks], [filter-stats])
     gets its own span (category ["stage"], with the network name as a
     span argument).  When [metrics] is given, parser, pool, instance,
-    and address-block counters accumulate into the registry.  Both are
-    purely observational: results are identical with or without them. *)
+    and address-block counters accumulate into the registry.  Trace,
+    metrics, faults, and limits are all optional and default to off /
+    far-above-real-workloads: results are byte-identical with or
+    without them. *)
 
 val analyze_asts :
-  ?trace:Rd_util.Trace.t -> ?metrics:Rd_util.Metrics.t -> ?diags:Rd_config.Diag.t list ->
+  ?trace:Rd_util.Trace.t -> ?metrics:Rd_util.Metrics.t ->
+  ?faults:Rd_util.Fault.t -> ?limits:Rd_util.Limits.t ->
+  ?diags:Rd_config.Diag.t list ->
   name:string -> (string * Rd_config.Ast.t) list -> t
 (** Entry point when configurations are already parsed; [diags] carries
     any diagnostics collected while parsing them. *)

@@ -77,7 +77,8 @@ let origins_bulk (g : Instance_graph.t) =
 
 let origin_of_instance (g : Instance_graph.t) inst_id = (origins_bulk g).(inst_id)
 
-let compute ?metrics ?(external_offers = Prefix_set.full) (g : Instance_graph.t) =
+let compute ?metrics ?faults ?(limits = Rd_util.Limits.default)
+    ?(external_offers = Prefix_set.full) (g : Instance_graph.t) =
   let origins = origins_bulk g in
   let routes = Array.map (fun s -> s) origins in
   let changed = ref true in
@@ -85,6 +86,9 @@ let compute ?metrics ?(external_offers = Prefix_set.full) (g : Instance_graph.t)
   while !changed do
     changed := false;
     incr iterations;
+    Rd_util.Fault.fault_point faults ~site:"reach.fixpoint";
+    Rd_util.Limits.check ~site:"reach.fixpoint" ~budget:limits.max_fixpoint_iterations
+      !iterations;
     List.iter
       (fun (e : Instance_graph.edge) ->
         let inflow =

@@ -22,13 +22,20 @@ type t = {
 }
 
 val compute :
-  ?metrics:Rd_util.Metrics.t -> ?external_offers:Prefix_set.t ->
-  Rd_routing.Instance_graph.t -> t
+  ?metrics:Rd_util.Metrics.t -> ?faults:Rd_util.Fault.t -> ?limits:Rd_util.Limits.t ->
+  ?external_offers:Prefix_set.t -> Rd_routing.Instance_graph.t -> t
 (** [external_offers] is the route set the outside world presents on every
     inbound edge (default: the full address space — the Internet offers a
     route to everything).  [metrics] accumulates [reach.computations] and
     [reach.fixpoint_iterations] counters plus a per-call
-    [reach.iterations] histogram. *)
+    [reach.iterations] histogram.
+
+    The fixpoint is budgeted: when the round count exceeds
+    [limits.max_fixpoint_iterations] (default {!Rd_util.Limits.default},
+    far beyond any real instance graph) the computation raises
+    {!Rd_util.Limits.Budget_exceeded} with site ["reach.fixpoint"]
+    instead of spinning.  [faults] arms the same-named {!Rd_util.Fault}
+    site, visited once per round. *)
 
 val origin_of_instance : Rd_routing.Instance_graph.t -> int -> Prefix_set.t
 (** Connected subnets attached to an instance: subnets of interfaces

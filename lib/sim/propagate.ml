@@ -8,6 +8,7 @@ type t = {
   local_ribs : Rib.t array;
   router_ribs : Rib.t array;
   iterations : int;
+  converged : bool;
 }
 
 let lookup_acl (cfg : Ast.t) name = Ast.find_acl cfg name
@@ -96,7 +97,8 @@ let local_rib_of (cfg : Ast.t) =
     cfg.statics;
   !rib
 
-let run ?metrics ?(external_prefixes = [ Prefix.default ]) (graph : Process_graph.t) =
+let run ?metrics ?faults ?(limits = Rd_util.Limits.default)
+    ?(external_prefixes = [ Prefix.default ]) (graph : Process_graph.t) =
   (* Batched observability counters, flushed to the registry once at the
      end of the run (per-route registry updates would dominate). *)
   let installed = ref 0 and redist_events = ref 0 in
@@ -360,14 +362,19 @@ let run ?metrics ?(external_prefixes = [ Prefix.default ]) (graph : Process_grap
       catalog.processes
   in
   let redist_edges = Process_graph.redistribution_edges graph in
-  while !changed && !iterations < 100 do
+  while !changed && !iterations < limits.max_propagate_iterations do
     changed := false;
     incr iterations;
+    Rd_util.Fault.fault_point faults ~site:"propagate.fixpoint";
     List.iter transfer_adjacent graph.adjacency.adjacencies;
     List.iter transfer_redist redist_edges;
     originate_aggregates ();
     originate_defaults ()
   done;
+  (* [changed] still set means the round budget cut the fixpoint short:
+     a degraded (under-approximated) result, recorded rather than
+     raised so callers can keep the partial RIBs. *)
+  let converged = not !changed in
   (* Router RIB selection. *)
   let router_ribs =
     Array.init nrouter (fun ri ->
@@ -381,7 +388,7 @@ let run ?metrics ?(external_prefixes = [ Prefix.default ]) (graph : Process_grap
      Rd_util.Metrics.incr metrics ~by:!iterations "propagate.fixpoint_iterations";
      Rd_util.Metrics.incr metrics ~by:!installed "propagate.routes_installed";
      Rd_util.Metrics.incr metrics ~by:!redist_events "propagate.redistributions");
-  { graph; proc_ribs; local_ribs; router_ribs; iterations = !iterations }
+  { graph; proc_ribs; local_ribs; router_ribs; iterations = !iterations; converged }
 
 let rib_of_process t pid = t.proc_ribs.(pid)
 let rib_of_router t ri = t.router_ribs.(ri)

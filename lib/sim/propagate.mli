@@ -19,18 +19,27 @@ type t = {
   local_ribs : Rib.t array;  (** by router. *)
   router_ribs : Rib.t array;  (** by router. *)
   iterations : int;
+  converged : bool;
+      (** [false] when the round budget cut the fixpoint short — the RIBs
+          are then a sound but possibly incomplete under-approximation. *)
 }
 
 val run :
-  ?metrics:Rd_util.Metrics.t -> ?external_prefixes:Prefix.t list ->
-  Rd_routing.Process_graph.t -> t
+  ?metrics:Rd_util.Metrics.t -> ?faults:Rd_util.Fault.t -> ?limits:Rd_util.Limits.t ->
+  ?external_prefixes:Prefix.t list -> Rd_routing.Process_graph.t -> t
 (** [external_prefixes] simulates the routes offered by external peers on
     every external BGP peering and IGP edge link (default: a single
     0.0.0.0/0).  [metrics] accumulates the [propagate.runs],
     [propagate.fixpoint_iterations], [propagate.routes_installed]
     (RIB-changing installs), and [propagate.redistributions] (routes
     offered across a redistribution edge) counters, flushed once per
-    run. *)
+    run.
+
+    Rounds are budgeted by [limits.max_propagate_iterations] (default
+    {!Rd_util.Limits.default}, the historical cap of 100): hitting the
+    budget degrades to [converged = false] instead of spinning.  [faults]
+    arms the ["propagate.fixpoint"] {!Rd_util.Fault} site, visited once
+    per round. *)
 
 val rib_of_process : t -> int -> Rib.t
 val rib_of_router : t -> int -> Rib.t

@@ -76,27 +76,80 @@ let generate_one spec =
 
 type network = { spec : spec; analysis : Rd_core.Analysis.t }
 
-let build_network ?trace ?metrics ?jobs spec =
+let build_network ?trace ?metrics ?jobs ?faults ?limits spec =
   let files =
     Rd_util.Trace.span ~cat:"stage"
       ~args:[ ("network", Rd_util.Trace.String spec.label) ]
       trace "generate"
       (fun () -> generate_one spec)
   in
-  { spec; analysis = Rd_core.Analysis.analyze ?trace ?metrics ?jobs ~name:spec.label files }
+  Rd_util.Fault.fault_point faults ~site:"study.network" ~key:spec.label;
+  {
+    spec;
+    analysis =
+      Rd_core.Analysis.analyze ?trace ?metrics ?jobs ?faults ?limits ~name:spec.label files;
+  }
+
+let wanted_specs ?only ~master_seed () =
+  let all = specs ~master_seed in
+  match only with
+  | None -> all
+  | Some ids -> List.filter (fun s -> List.mem s.net_id ids) all
 
 (* Each network is an independent, per-spec-seeded unit, so the
    population maps across the domain pool.  Inside a pool worker the
    per-network parse fan-out degrades to sequential (nested-pool
    guard), keeping the domain count bounded by [jobs]. *)
-let build ?only ?trace ?metrics ?jobs ~master_seed () =
-  let all = specs ~master_seed in
-  let wanted =
-    match only with
-    | None -> all
-    | Some ids -> List.filter (fun s -> List.mem s.net_id ids) all
+let build ?only ?trace ?metrics ?jobs ?faults ?limits ~master_seed () =
+  Rd_util.Pool.parallel_map ?jobs ?trace ?metrics ?faults
+    (build_network ?trace ?metrics ?jobs ?faults ?limits)
+    (wanted_specs ?only ~master_seed ())
+
+type failure = { spec : spec; failure : Rd_util.Pool.failure }
+
+let build_results ?only ?trace ?metrics ?faults ?limits ?(retries = 0) ?jobs ~master_seed
+    () =
+  let wanted = wanted_specs ?only ~master_seed () in
+  let results =
+    Rd_util.Pool.parallel_map_results ?jobs ?trace ?metrics ?faults ~retries
+      (build_network ?trace ?metrics ?jobs ?faults ?limits)
+      wanted
   in
-  Rd_util.Pool.parallel_map ?jobs ?trace ?metrics (build_network ?trace ?metrics ?jobs) wanted
+  List.map2
+    (fun spec -> function
+      | Ok net -> Ok net
+      | Error f ->
+        Rd_util.Metrics.incr metrics "network.degraded";
+        Error { spec; failure = f })
+    wanted results
+
+let partition results =
+  List.partition_map
+    (function Ok n -> Either.Left n | Error f -> Either.Right f)
+    results
+
+let render_failures ~total failures =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "--- failed networks (%d of %d) ---\n" (List.length failures) total);
+  let rows =
+    List.map
+      (fun f ->
+        [
+          f.spec.label;
+          string_of_int f.spec.n;
+          Option.value ~default:"-" f.failure.site;
+          Printexc.to_string f.failure.exn;
+        ])
+      failures
+  in
+  Buffer.add_string buf
+    (Rd_util.Table.render
+       ~headers:[ "network"; "routers"; "site"; "error" ]
+       ~aligns:
+         [ Rd_util.Table.Left; Rd_util.Table.Right; Rd_util.Table.Left; Rd_util.Table.Left ]
+       rows);
+  Buffer.contents buf
 
 let repository_sizes ~master_seed ~count =
   let rng = Rd_util.Prng.create (master_seed + 777) in

@@ -28,19 +28,51 @@ val generate_one : spec -> (string * string) list
 type network = { spec : spec; analysis : Rd_core.Analysis.t }
 
 val build_network :
-  ?trace:Rd_util.Trace.t -> ?metrics:Rd_util.Metrics.t -> ?jobs:int -> spec -> network
+  ?trace:Rd_util.Trace.t -> ?metrics:Rd_util.Metrics.t -> ?jobs:int ->
+  ?faults:Rd_util.Fault.t -> ?limits:Rd_util.Limits.t -> spec -> network
 (** Generate, render to text, re-parse, analyze.  [trace] additionally
-    records a [generate] stage span ahead of the analysis stages. *)
+    records a [generate] stage span ahead of the analysis stages.
+    [faults] arms the ["study.network"] site (key = the network label)
+    ahead of the analysis, plus every parse/analysis site below it. *)
 
 val build :
   ?only:int list -> ?trace:Rd_util.Trace.t -> ?metrics:Rd_util.Metrics.t -> ?jobs:int ->
+  ?faults:Rd_util.Fault.t -> ?limits:Rd_util.Limits.t ->
   master_seed:int -> unit -> network list
 (** Build the population (or the networks whose ids are in [only]).
     Each network flows through the full text pipeline.  Networks build
     in parallel on [jobs] pool workers (default
     {!Rd_util.Pool.default_jobs}); because every network is seeded from
     its own spec, the result is byte-identical to a sequential
-    ([jobs = 1]) build, in net-id order. *)
+    ([jobs = 1]) build, in net-id order.  This is the fail-fast
+    discipline: the first network whose analysis raises aborts the whole
+    build ([rdna study --fail-fast]); use {!build_results} to degrade
+    per network instead. *)
+
+type failure = { spec : spec; failure : Rd_util.Pool.failure }
+(** A network whose build raised: which spec, plus the terminal
+    exception, its site (when a fault/budget site is known), attempt
+    count, and elapsed time. *)
+
+val build_results :
+  ?only:int list -> ?trace:Rd_util.Trace.t -> ?metrics:Rd_util.Metrics.t ->
+  ?faults:Rd_util.Fault.t -> ?limits:Rd_util.Limits.t -> ?retries:int -> ?jobs:int ->
+  master_seed:int -> unit -> (network, failure) result list
+(** Supervised {!build}: every requested network yields [Ok] or a
+    {!failure}; one bad network never aborts the other thirty (the
+    default [rdna study] discipline).  Results stay in net-id order, and
+    a zero-failure run is byte-identical to {!build}.  [retries]
+    (default 0) re-runs a failed network up to that many extra times.
+    Each failure bumps the [network.degraded] metrics counter. *)
+
+val partition : (network, failure) result list -> network list * failure list
+(** Split into (survivors, failures), both order-preserving. *)
+
+val render_failures : total:int -> failure list -> string
+(** The failed-network report: a [--- failed networks (k of n) ---]
+    header plus one table row per failure (network, routers, site,
+    error).  This exact text is what [rdna study] prints and what the
+    chaos-smoke golden file pins down. *)
 
 val repository_sizes : master_seed:int -> count:int -> int list
 (** Synthetic sizes for the 2,400-network repository of Figure 8 (heavy-

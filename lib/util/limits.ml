@@ -1,0 +1,30 @@
+(* Budgets are plain integers consulted inline by the hot loops; the
+   exception carries the site name so supervisors can report where a
+   run was cut short without parsing messages. *)
+
+type t = {
+  max_config_bytes : int;
+  max_fixpoint_iterations : int;
+  max_propagate_iterations : int;
+  max_subnets : int;
+}
+
+exception Budget_exceeded of { site : string; budget : int }
+
+let () =
+  Printexc.register_printer (function
+    | Budget_exceeded { site; budget } ->
+      Some (Printf.sprintf "budget exceeded at %s (limit %d)" site budget)
+    | _ -> None)
+
+let default =
+  {
+    max_config_bytes = 8 * 1024 * 1024;
+    max_fixpoint_iterations = 10_000;
+    max_propagate_iterations = 100;
+    max_subnets = 1_000_000;
+  }
+
+let check ~site ~budget v = if v > budget then raise (Budget_exceeded { site; budget })
+
+let site_of_exn = function Budget_exceeded { site; _ } -> Some site | _ -> None

@@ -1,0 +1,46 @@
+(** Resource budgets for the analysis pipeline.
+
+    The paper's methodology has to survive 8,035 real-world configuration
+    files (§2); a single pathological input — an enormous file, a route
+    filter that makes a fixpoint crawl — must degrade into a recorded
+    diagnostic, never hang or exhaust the machine.  A [Limits.t] bundles
+    the budgets the pipeline consults: stages call {!check} with their
+    running count and the budget raises {!Budget_exceeded} the moment a
+    budget is crossed, which callers convert into a [budget-exceeded]
+    diagnostic ({!Rd_core.Analysis}) or a degraded-network record
+    ({!Rd_study.Population}).
+
+    The defaults are far above anything a real network produces, so runs
+    on sane inputs are byte-identical whether or not a caller threads
+    explicit limits. *)
+
+type t = {
+  max_config_bytes : int;
+      (** Largest configuration file the parser will accept (bytes). *)
+  max_fixpoint_iterations : int;
+      (** Reachability fixpoint rounds ({!Rd_reach.Reachability.compute}). *)
+  max_propagate_iterations : int;
+      (** Route-propagation rounds ({!Rd_sim.Propagate.run}); exceeding it
+          reports [converged = false] instead of raising. *)
+  max_subnets : int;
+      (** Subnet count fed to address-block discovery
+          ({!Rd_addrspace.Blocks.discover}). *)
+}
+
+exception Budget_exceeded of { site : string; budget : int }
+(** Raised by {!check} when a counter crosses its budget.  [site] is the
+    budget's stable dotted name (e.g. ["reach.fixpoint"]); a printer is
+    registered, so [Printexc.to_string] yields a stable one-line
+    message. *)
+
+val default : t
+(** [max_config_bytes = 8 MiB], [max_fixpoint_iterations = 10_000],
+    [max_propagate_iterations = 100], [max_subnets = 1_000_000]. *)
+
+val check : site:string -> budget:int -> int -> unit
+(** [check ~site ~budget v] raises {!Budget_exceeded} when [v > budget];
+    otherwise does nothing. *)
+
+val site_of_exn : exn -> string option
+(** The budget site of a {!Budget_exceeded}, [None] for any other
+    exception. *)

@@ -7,6 +7,13 @@
    themselves via a DLS flag; a parallel map issued from inside a worker
    runs sequentially instead of deadlocking on pool capacity.
 
+   Robustness invariants: a worker never dies with the queue non-empty
+   (it catches whatever escapes a task), and the map combinators keep
+   their completion accounting in a [Fun.protect] finalizer, so an
+   exception raised anywhere between task pickup and completion — the
+   [pool.pickup] fault site simulates exactly that window — can delay a
+   map but never deadlock its [all_done] wait.
+
    When a recorder/registry is attached, [submit] wraps each task to
    record a queue-wait histogram and a "task" span; workers flush their
    domain-local span buffers just before exiting so every span recorded
@@ -21,6 +28,7 @@ type t = {
   mutable domains : unit Domain.t list;
   trace : Trace.t option;
   metrics : Metrics.t option;
+  faults : Fault.t option;
   mutable busy_us : float; (* task wall-clock total; protected by [mutex] *)
   started : float;
 }
@@ -53,11 +61,15 @@ let rec worker_loop t =
   else begin
     let task = Queue.pop t.queue in
     Mutex.unlock t.mutex;
-    task ();
+    (* A raising task must not take the worker down with it: the map
+       combinators do their own error capture, so anything reaching
+       here is a raw [submit] task (or a recorder bug) — count it and
+       keep serving the queue. *)
+    (try task () with _ -> Metrics.incr t.metrics "pool.task_failures");
     worker_loop t
   end
 
-let create ?jobs ?trace ?metrics () =
+let create ?jobs ?trace ?metrics ?faults () =
   let size = max 1 (match jobs with Some j -> j | None -> default_jobs ()) in
   let t =
     {
@@ -69,6 +81,7 @@ let create ?jobs ?trace ?metrics () =
       domains = [];
       trace;
       metrics;
+      faults;
       busy_us = 0.0;
       started = Trace.now ();
     }
@@ -125,14 +138,81 @@ let shutdown t =
       Metrics.set t.metrics "pool.utilization"
         (t.busy_us /. (elapsed_us *. float_of_int t.size))
 
-let with_pool ?jobs ?trace ?metrics f =
-  let t = create ?jobs ?trace ?metrics () in
+let with_pool ?jobs ?trace ?metrics ?faults f =
+  let t = create ?jobs ?trace ?metrics ?faults () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
-(* Tasks never outlive [mapi]: every chunk decrements [remaining] under
-   [m] even when the user function raises, and the caller sleeps on
-   [all_done] until the count drains.  The first exception (with its
-   backtrace) wins; later chunks see it and skip their work. *)
+(* ------------------------------------------------------------ failures --- *)
+
+type failure = {
+  exn : exn;
+  backtrace : string;
+  site : string option;
+  attempts : int;
+  elapsed : float;
+}
+
+let failure_site e =
+  match Fault.site_of_exn e with Some _ as s -> s | None -> Limits.site_of_exn e
+
+let failure_of ?(attempts = 1) ?(elapsed = 0.0) e bt =
+  { exn = e; backtrace = bt; site = failure_site e; attempts; elapsed }
+
+(* Run one item under supervision: catch, optionally retry with
+   exponential backoff, and report the terminal failure with its site
+   and total elapsed time. *)
+let supervised ~retries ~backoff ~metrics f i x =
+  let started = Trace.now () in
+  let rec attempt k =
+    match f i x with
+    | y -> Ok y
+    | exception e ->
+      let bt = Printexc.get_backtrace () in
+      if k <= retries then begin
+        Metrics.incr metrics "task.retried";
+        if backoff > 0.0 then Unix.sleepf (backoff *. float_of_int (1 lsl (k - 1)));
+        attempt (k + 1)
+      end
+      else Error (failure_of ~attempts:k ~elapsed:(Trace.now () -. started) e bt)
+  in
+  attempt 1
+
+(* Chunked fan-out shared by the fail-fast and supervised maps: [run]
+   handles one chunk and must not raise.  Completion accounting lives in
+   a finalizer so a raising [run] (it never should) still drains
+   [all_done]. *)
+let fan_out t ~n ~run =
+  let m = Mutex.create () in
+  let all_done = Condition.create () in
+  let chunk = max 1 ((n + (t.size * 4) - 1) / (t.size * 4)) in
+  let nchunks = (n + chunk - 1) / chunk in
+  let remaining = ref nchunks in
+  let rec enqueue start =
+    if start < n then begin
+      let stop = min n (start + chunk) in
+      submit t (fun () ->
+          Fun.protect
+            ~finally:(fun () ->
+              Mutex.lock m;
+              decr remaining;
+              if !remaining = 0 then Condition.signal all_done;
+              Mutex.unlock m)
+            (fun () -> run ~start ~stop));
+      enqueue stop
+    end
+  in
+  enqueue 0;
+  Mutex.lock m;
+  while !remaining > 0 do
+    Condition.wait all_done m
+  done;
+  Mutex.unlock m
+
+(* Tasks never outlive [mapi]: every chunk decrements [remaining] in its
+   finalizer even when the user function (or an injected pickup fault)
+   raises, and the caller sleeps on [all_done] until the count drains.
+   The first exception (with its backtrace) wins; later chunks see it
+   and skip their work. *)
 let mapi t f l =
   let n = List.length l in
   if n = 0 then []
@@ -141,38 +221,18 @@ let mapi t f l =
     let input = Array.of_list l in
     let results = Array.make n None in
     let m = Mutex.create () in
-    let all_done = Condition.create () in
-    let chunk = max 1 ((n + (t.size * 4) - 1) / (t.size * 4)) in
-    let nchunks = (n + chunk - 1) / chunk in
-    let remaining = ref nchunks in
     let error = ref None in
-    let rec enqueue start =
-      if start < n then begin
-        let stop = min n (start + chunk) in
-        submit t (fun () ->
-            let poisoned = Mutex.protect m (fun () -> !error <> None) in
-            (try
-               if not poisoned then
-                 for i = start to stop - 1 do
-                   results.(i) <- Some (f i input.(i))
-                 done
-             with e ->
-               let bt = Printexc.get_raw_backtrace () in
-               Mutex.protect m (fun () ->
-                   if !error = None then error := Some (e, bt)));
-            Mutex.lock m;
-            decr remaining;
-            if !remaining = 0 then Condition.signal all_done;
-            Mutex.unlock m);
-        enqueue stop
-      end
-    in
-    enqueue 0;
-    Mutex.lock m;
-    while !remaining > 0 do
-      Condition.wait all_done m
-    done;
-    Mutex.unlock m;
+    fan_out t ~n ~run:(fun ~start ~stop ->
+        try
+          Fault.fault_point t.faults ~site:"pool.pickup";
+          let poisoned = Mutex.protect m (fun () -> !error <> None) in
+          if not poisoned then
+            for i = start to stop - 1 do
+              results.(i) <- Some (f i input.(i))
+            done
+        with e ->
+          let bt = Printexc.get_raw_backtrace () in
+          Mutex.protect m (fun () -> if !error = None then error := Some (e, bt)));
     (match !error with
      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
      | None -> ());
@@ -181,10 +241,46 @@ let mapi t f l =
 
 let map t f l = mapi t (fun _ x -> f x) l
 
-let parallel_mapi ?jobs ?trace ?metrics f l =
+(* Supervised variant: no poisoning — every item always gets a result,
+   and a fault injected between pickup and the item loop marks the whole
+   chunk failed instead of losing it. *)
+let mapi_results ?(retries = 0) ?(backoff = 0.0) t f l =
+  let n = List.length l in
+  if n = 0 then []
+  else if t.size <= 1 || n = 1 || in_worker () then
+    List.mapi (fun i x -> supervised ~retries ~backoff ~metrics:t.metrics f i x) l
+  else begin
+    let input = Array.of_list l in
+    let results = Array.make n None in
+    fan_out t ~n ~run:(fun ~start ~stop ->
+        match Fault.fault_point t.faults ~site:"pool.pickup" with
+        | () ->
+          for i = start to stop - 1 do
+            results.(i) <- Some (supervised ~retries ~backoff ~metrics:t.metrics f i input.(i))
+          done
+        | exception e ->
+          let bt = Printexc.get_backtrace () in
+          for i = start to stop - 1 do
+            results.(i) <- Some (Error (failure_of e bt))
+          done);
+    Array.to_list (Array.map Option.get results)
+  end
+
+let map_results ?retries ?backoff t f l = mapi_results ?retries ?backoff t (fun _ x -> f x) l
+
+let parallel_mapi ?jobs ?trace ?metrics ?faults f l =
   let size = max 1 (match jobs with Some j -> j | None -> default_jobs ()) in
   if size <= 1 || List.length l <= 1 || in_worker () then List.mapi f l
-  else with_pool ~jobs:size ?trace ?metrics (fun t -> mapi t f l)
+  else with_pool ~jobs:size ?trace ?metrics ?faults (fun t -> mapi t f l)
 
-let parallel_map ?jobs ?trace ?metrics f l =
-  parallel_mapi ?jobs ?trace ?metrics (fun _ x -> f x) l
+let parallel_map ?jobs ?trace ?metrics ?faults f l =
+  parallel_mapi ?jobs ?trace ?metrics ?faults (fun _ x -> f x) l
+
+let parallel_mapi_results ?jobs ?trace ?metrics ?faults ?(retries = 0) ?(backoff = 0.0) f l =
+  let size = max 1 (match jobs with Some j -> j | None -> default_jobs ()) in
+  if size <= 1 || List.length l <= 1 || in_worker () then
+    List.mapi (fun i x -> supervised ~retries ~backoff ~metrics f i x) l
+  else with_pool ~jobs:size ?trace ?metrics ?faults (fun t -> mapi_results ~retries ~backoff t f l)
+
+let parallel_map_results ?jobs ?trace ?metrics ?faults ?retries ?backoff f l =
+  parallel_mapi_results ?jobs ?trace ?metrics ?faults ?retries ?backoff (fun _ x -> f x) l

@@ -6,8 +6,22 @@
     matches input order and a parallel map is observably identical to
     its sequential counterpart — only wall-clock changes.  This is what
     lets the parallel 31-network study (paper §2) promise byte-identical
-    output.  The first exception raised by the mapped function is
-    re-raised (with its backtrace) in the calling domain.
+    output.
+
+    Two error disciplines are offered.  The fail-fast maps ({!map},
+    {!mapi}, {!parallel_map}, {!parallel_mapi}) re-raise the first
+    exception raised by the mapped function (with its backtrace) in the
+    calling domain.  The supervised maps ({!map_results},
+    {!mapi_results}, {!parallel_map_results}, {!parallel_mapi_results})
+    isolate failures per item instead: every input produces an
+    [(result, failure) result], optionally after bounded
+    retry-with-backoff — the discipline the 31-network study uses so a
+    single bad network cannot abort the other thirty.
+
+    Either way the pool cannot deadlock on a failure: completion
+    accounting runs in a finalizer, and a worker that catches an
+    exception escaping a task (counted as [pool.task_failures]) keeps
+    serving the queue.
 
     Worker domains are flagged via domain-local storage: a parallel map
     issued from inside a pool task runs sequentially rather than
@@ -18,9 +32,12 @@
     [?metrics] to have every submitted task wrapped in a ["task"] span
     (category ["pool"]) and counted into [pool.tasks],
     [pool.queue_wait_ms], [pool.task_ms], [pool.workers], and
-    [pool.utilization].  Workers flush their domain-local {!Trace}
-    buffers before exiting, so spans recorded inside tasks always
-    survive the pool join. *)
+    [pool.utilization]; retries bump [task.retried].  Pass [?faults] to
+    arm the ["pool.pickup"] {!Fault} site, which fires between task
+    pickup and execution — the chaos suite's stand-in for a worker dying
+    mid-task.  Workers flush their domain-local {!Trace} buffers before
+    exiting, so spans recorded inside tasks always survive the pool
+    join. *)
 
 type t
 (** A running pool of worker domains. *)
@@ -32,26 +49,30 @@ val default_jobs : unit -> int
 val in_worker : unit -> bool
 (** [true] when called from inside a pool worker domain. *)
 
-val create : ?jobs:int -> ?trace:Trace.t -> ?metrics:Metrics.t -> unit -> t
+val create : ?jobs:int -> ?trace:Trace.t -> ?metrics:Metrics.t -> ?faults:Fault.t -> unit -> t
 (** [create ~jobs ()] spawns [max 1 jobs] worker domains
     (default {!default_jobs}).  [?trace] and [?metrics] attach an
-    observability recorder/registry to every task run on the pool. *)
+    observability recorder/registry to every task run on the pool;
+    [?faults] arms the pool's injection sites. *)
 
 val jobs : t -> int
 (** Number of worker domains. *)
 
 val submit : t -> (unit -> unit) -> unit
-(** Enqueue a task.  Tasks must not raise (the map combinators wrap
-    user functions; a raising raw task is silently dropped with its
-    worker).  Raises [Invalid_argument] after {!shutdown}. *)
+(** Enqueue a task.  A raw task that raises is dropped (its exception
+    counted as [pool.task_failures]); the worker survives and keeps
+    serving the queue.  Raises [Invalid_argument] after {!shutdown}. *)
 
 val shutdown : t -> unit
 (** Drain the queue, stop and join all workers, then publish the
     [pool.workers] and [pool.utilization] gauges when a metrics
     registry is attached.  Idempotent. *)
 
-val with_pool : ?jobs:int -> ?trace:Trace.t -> ?metrics:Metrics.t -> (t -> 'a) -> 'a
+val with_pool :
+  ?jobs:int -> ?trace:Trace.t -> ?metrics:Metrics.t -> ?faults:Fault.t -> (t -> 'a) -> 'a
 (** [with_pool f] runs [f] with a fresh pool and always shuts it down. *)
+
+(** {1 Fail-fast maps} *)
 
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** Order-preserving parallel map on an existing pool.  Falls back to
@@ -61,10 +82,49 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
 val mapi : t -> (int -> 'a -> 'b) -> 'a list -> 'b list
 
 val parallel_map :
-  ?jobs:int -> ?trace:Trace.t -> ?metrics:Metrics.t -> ('a -> 'b) -> 'a list -> 'b list
+  ?jobs:int -> ?trace:Trace.t -> ?metrics:Metrics.t -> ?faults:Fault.t ->
+  ('a -> 'b) -> 'a list -> 'b list
 (** One-shot convenience: create a pool, {!map}, shut down.  [~jobs:1]
     (or a singleton/empty list, or a nested call) short-circuits to
     [List.map] without spawning any domain. *)
 
 val parallel_mapi :
-  ?jobs:int -> ?trace:Trace.t -> ?metrics:Metrics.t -> (int -> 'a -> 'b) -> 'a list -> 'b list
+  ?jobs:int -> ?trace:Trace.t -> ?metrics:Metrics.t -> ?faults:Fault.t ->
+  (int -> 'a -> 'b) -> 'a list -> 'b list
+
+(** {1 Supervised maps} *)
+
+type failure = {
+  exn : exn;  (** the terminal exception, after any retries. *)
+  backtrace : string;  (** its backtrace (empty when recording is off). *)
+  site : string option;
+      (** the {!Fault}/{!Limits} site that produced it, when known. *)
+  attempts : int;  (** how many times the item was tried. *)
+  elapsed : float;  (** seconds spent on the item across all attempts. *)
+}
+(** Why one input item failed. *)
+
+val map_results :
+  ?retries:int -> ?backoff:float -> t -> ('a -> 'b) -> 'a list ->
+  ('b, failure) result list
+(** Order-preserving supervised map: every input yields [Ok] or a
+    {!failure}; an exception in one item never affects the others.
+    [retries] (default 0) re-runs a failed item up to that many extra
+    times, sleeping [backoff * 2{^attempt-1}] seconds between attempts
+    (default 0) and counting [task.retried]. *)
+
+val mapi_results :
+  ?retries:int -> ?backoff:float -> t -> (int -> 'a -> 'b) -> 'a list ->
+  ('b, failure) result list
+
+val parallel_map_results :
+  ?jobs:int -> ?trace:Trace.t -> ?metrics:Metrics.t -> ?faults:Fault.t ->
+  ?retries:int -> ?backoff:float -> ('a -> 'b) -> 'a list ->
+  ('b, failure) result list
+(** One-shot supervised map: create a pool, {!map_results}, shut down,
+    with the same sequential short-circuits as {!parallel_map}. *)
+
+val parallel_mapi_results :
+  ?jobs:int -> ?trace:Trace.t -> ?metrics:Metrics.t -> ?faults:Fault.t ->
+  ?retries:int -> ?backoff:float -> (int -> 'a -> 'b) -> 'a list ->
+  ('b, failure) result list

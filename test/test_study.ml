@@ -229,6 +229,57 @@ let test_traced_build_identical () =
      | Some n -> n > 0
      | None -> false)
 
+let test_supervised_build_identical () =
+  (* with faults disabled, the supervised (keep-going) build is
+     byte-identical to the fail-fast build the study always used *)
+  let subset = [ 1; 4; 8; 15 ] in
+  let plain = Rd_study.Population.build ~only:subset ~jobs:2 ~master_seed:seed () in
+  let results = Rd_study.Population.build_results ~only:subset ~jobs:2 ~master_seed:seed () in
+  let supervised, failures = Rd_study.Population.partition results in
+  check_int "no failures" 0 (List.length failures);
+  check_int "same count" (List.length plain) (List.length supervised);
+  List.iter2
+    (fun (a : Rd_study.Population.network) (b : Rd_study.Population.network) ->
+      check_int "net order" a.spec.net_id b.spec.net_id;
+      Alcotest.(check string)
+        (Printf.sprintf "net%d summary identical under supervision" a.spec.net_id)
+        (Rd_core.Analysis.summary a.analysis)
+        (Rd_core.Analysis.summary b.analysis))
+    plain supervised
+
+let test_degraded_full_study () =
+  (* kill exactly one of the 31 networks: the other thirty come out
+     byte-identical to a clean run, and the failure is fully described *)
+  let clean = Rd_study.Population.build ~master_seed:seed () in
+  let metrics = Rd_util.Metrics.create () in
+  let faults =
+    match Rd_util.Fault.of_spec "seed=5;study.network:raise:key=net7" with
+    | Ok f -> f
+    | Error e -> Alcotest.failf "fault spec: %s" e
+  in
+  let results = Rd_study.Population.build_results ~metrics ~faults ~master_seed:seed () in
+  check_int "31 results" 31 (List.length results);
+  let survivors, failures = Rd_study.Population.partition results in
+  check_int "30 survivors" 30 (List.length survivors);
+  (match failures with
+   | [ f ] ->
+     Alcotest.(check string) "net7 failed" "net7" f.spec.label;
+     check_bool "site recorded" true (f.failure.site = Some "study.network");
+     Alcotest.(check string) "stable error" "injected fault at study.network [net7]"
+       (Printexc.to_string f.failure.exn)
+   | l -> Alcotest.failf "expected exactly one failure, got %d" (List.length l));
+  List.iter2
+    (fun (c : Rd_study.Population.network) (s : Rd_study.Population.network) ->
+      check_int "net order preserved" c.spec.net_id s.spec.net_id;
+      Alcotest.(check string)
+        (Printf.sprintf "net%d byte-identical" c.spec.net_id)
+        (Rd_core.Analysis.summary c.analysis)
+        (Rd_core.Analysis.summary s.analysis))
+    (List.filter (fun (n : Rd_study.Population.network) -> n.spec.net_id <> 7) clean)
+    survivors;
+  check_bool "network.degraded = 1" true
+    (Rd_util.Metrics.counter_value metrics "network.degraded" = Some 1)
+
 let test_study_deterministic () =
   (* the same master seed regenerates identical configuration text *)
   let spec = List.find (fun (s : Rd_study.Population.spec) -> s.net_id = 13) specs in
@@ -289,6 +340,8 @@ let () =
           Alcotest.test_case "paper invariants" `Slow test_full_study;
           Alcotest.test_case "parallel build determinism" `Quick test_parallel_build_deterministic;
           Alcotest.test_case "traced build identical + trace json" `Quick test_traced_build_identical;
+          Alcotest.test_case "supervised build identical" `Quick test_supervised_build_identical;
+          Alcotest.test_case "degraded full study" `Slow test_degraded_full_study;
           Alcotest.test_case "determinism" `Quick test_study_deterministic;
           Alcotest.test_case "scorecard" `Slow test_scorecard;
           Alcotest.test_case "all 31 networks lint clean" `Slow test_full_study_lints_clean;

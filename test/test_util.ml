@@ -142,6 +142,76 @@ let test_pool_default_jobs_env () =
   check_bool "garbage falls back to cores" true (Pool.default_jobs () >= 1);
   Unix.putenv "RDNA_JOBS" (match saved with Some s -> s | None -> "")
 
+(* ------------------------------------------- Pool supervision / chaos --- *)
+
+let fault_plan spec =
+  match Fault.of_spec spec with
+  | Ok f -> f
+  | Error e -> Alcotest.failf "bad fault spec %S: %s" spec e
+
+let test_pool_raw_task_failure_survives () =
+  (* a raw submitted task that raises must not kill its worker or hang
+     the queue: later work on the same pool completes *)
+  Pool.with_pool ~jobs:2 (fun pool ->
+      Pool.submit pool (fun () -> failwith "dead task");
+      let out = Pool.map pool (fun x -> x * 2) [ 1; 2; 3 ] in
+      Alcotest.(check (list int)) "pool still serves" [ 2; 4; 6 ] out)
+
+let test_pool_pickup_fault_no_deadlock () =
+  (* a worker dying between task pickup and completion (the pool.pickup
+     injection site) must not leave the map's all_done wait hanging: the
+     fail-fast map re-raises the injected fault promptly... *)
+  (match
+     Pool.parallel_map ~jobs:2 ~faults:(fault_plan "seed=1;pool.pickup:raise")
+       (fun x -> x)
+       (List.init 20 (fun i -> i))
+   with
+  | _ -> Alcotest.fail "pickup fault should abort the fail-fast map"
+  | exception Fault.Injected ("pool.pickup", _) -> ());
+  (* ...and the supervised map degrades every chunk to Error and returns *)
+  let results =
+    Pool.parallel_map_results ~jobs:2 ~faults:(fault_plan "seed=1;pool.pickup:raise")
+      (fun x -> x)
+      (List.init 20 (fun i -> i))
+  in
+  check_int "all items accounted for" 20 (List.length results);
+  check_bool "every item failed at the pickup site" true
+    (List.for_all
+       (function Error (f : Pool.failure) -> f.site = Some "pool.pickup" | Ok _ -> false)
+       results)
+
+let test_pool_map_results_isolation () =
+  (* one bad item degrades to Error without touching its neighbours *)
+  let f x = if x mod 7 = 3 then failwith "bad item" else x * x in
+  let results = Pool.parallel_map_results ~jobs:4 f (List.init 30 (fun i -> i)) in
+  check_int "30 results" 30 (List.length results);
+  List.iteri
+    (fun i -> function
+      | Ok v -> check_int "square preserved" (i * i) v
+      | Error (fl : Pool.failure) ->
+        check_bool "only the bad items fail" true (i mod 7 = 3);
+        check_bool "failure carries the exception" true (fl.exn = Failure "bad item");
+        check_bool "no site for a plain failure" true (fl.site = None))
+    results
+
+let test_pool_retry_recovers () =
+  (* a fault capped at one fire per key: the first attempt on item 5
+     raises, its retry completes, so every item ends Ok and the retry is
+     counted *)
+  let metrics = Metrics.create () in
+  let faults = fault_plan "seed=3;task.run:raise:key=k5:max=1" in
+  let f x =
+    Fault.fault_point (Some faults) ~site:"task.run" ~key:(Printf.sprintf "k%d" x);
+    x + 100
+  in
+  let results =
+    Pool.parallel_map_results ~jobs:2 ~metrics ~retries:1 f (List.init 10 (fun i -> i))
+  in
+  check_bool "all ok after retry" true (List.for_all Result.is_ok results);
+  check_bool "task.retried counted" true
+    (Metrics.counter_value metrics "task.retried" = Some 1);
+  check_int "fault fired exactly once" 1 (List.length (Fault.injections faults))
+
 (* -------------------------------------------------------------- Trace --- *)
 
 let test_trace_nesting () =
@@ -647,6 +717,12 @@ let () =
           Alcotest.test_case "nested fallback" `Quick test_pool_nested_fallback;
           Alcotest.test_case "persistent pool" `Quick test_pool_persistent;
           Alcotest.test_case "RDNA_JOBS env" `Quick test_pool_default_jobs_env;
+          Alcotest.test_case "raw task failure survives" `Quick
+            test_pool_raw_task_failure_survives;
+          Alcotest.test_case "pickup fault no deadlock" `Quick
+            test_pool_pickup_fault_no_deadlock;
+          Alcotest.test_case "map_results isolation" `Quick test_pool_map_results_isolation;
+          Alcotest.test_case "retry recovers" `Quick test_pool_retry_recovers;
         ] );
       ( "trace",
         [
