@@ -1,0 +1,32 @@
+(** Reference prefix sets: the original structural (non-hash-consed)
+    implementation of {!Prefix_set}, retained as executable reference
+    semantics.
+
+    Every operation rebuilds trie nodes and equality is a structural
+    compare.  The qcheck agreement suite checks the hash-consed kernel
+    against this module operation by operation, and the bench harness
+    uses it as the pre-kernel baseline when measuring the reachability
+    fixpoint speedup.  Production code should always use
+    {!Prefix_set}. *)
+
+type t = Empty | Full | Node of t * t
+(** Exposed so tests can assert canonicity directly. *)
+
+val empty : t
+val full : t
+
+val of_prefix : Prefix.t -> t
+val of_prefixes : Prefix.t list -> t
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val complement : t -> t
+
+val is_empty : t -> bool
+val equal : t -> t -> bool
+val subset : t -> t -> bool
+val mem : Ipv4.t -> t -> bool
+
+val to_prefixes : t -> Prefix.t list
+val count_addresses : t -> int

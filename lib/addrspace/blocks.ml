@@ -3,18 +3,14 @@ open Rd_addr
 type block = { prefix : Prefix.t; used_addresses : int; subnets : Prefix.t list }
 
 (* Count the used addresses inside [p]: descend the canonical trie along
-   p's bits, then count the subtree (depth-relative: a Full subtree at
-   depth d covers 2^(32-d) addresses). *)
+   p's bits, then count the subtree through the kernel's memoized
+   [count_subtree] — every candidate supernet is counted against the one
+   shared "used" set, so overlapping candidates re-count shared subtrees
+   from the cache instead of walking them again. *)
 let coverage used p =
-  let rec count depth set =
-    match Prefix_set.view set with
-    | Prefix_set.Empty_v -> 0
-    | Prefix_set.Full_v -> 1 lsl (32 - depth)
-    | Prefix_set.Split_v (l, r) -> count (depth + 1) l + count (depth + 1) r
-  in
   let addr = Ipv4.to_int (Prefix.addr p) in
   let rec descend depth set =
-    if depth = Prefix.len p then count depth set
+    if depth = Prefix.len p then Prefix_set.count_subtree ~depth set
     else begin
       match Prefix_set.view set with
       | Prefix_set.Empty_v -> 0

@@ -54,7 +54,7 @@ let clause_set ?diag ?acl_name (c : Ast.acl_clause) =
         (Wildcard.to_string c.src);
     Prefix_set.of_prefixes prefixes
 
-let permitted_set ?diag (acl : Ast.acl) =
+let permitted_set_direct ?diag (acl : Ast.acl) =
   (* First-match: a clause only claims addresses not claimed earlier. *)
   let rec go permitted claimed = function
     | [] -> permitted
@@ -68,6 +68,36 @@ let permitted_set ?diag (acl : Ast.acl) =
       go permitted (Prefix_set.union claimed s) rest
   in
   go Prefix_set.empty Prefix_set.empty acl.clauses
+
+(* Per-domain ACL→set memo (physical identity): one router's ACL is
+   lowered once no matter how many edges, neighbor statements or
+   redistribution clauses reference it.  Lowering with a [diag]
+   collector bypasses the cache so warnings are never swallowed by an
+   earlier diag-less lowering (and vice versa). *)
+module Acl_tbl = Hashtbl.Make (struct
+  type t = Ast.acl
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+let memo_key : Prefix_set.t Acl_tbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Acl_tbl.create 256)
+
+let memo_limit = 1 lsl 16
+
+let permitted_set ?diag (acl : Ast.acl) =
+  match diag with
+  | Some _ -> permitted_set_direct ?diag acl
+  | None -> (
+    let tbl = Domain.DLS.get memo_key in
+    match Acl_tbl.find_opt tbl acl with
+    | Some s -> s
+    | None ->
+      let s = permitted_set_direct acl in
+      if Acl_tbl.length tbl > memo_limit then Acl_tbl.reset tbl;
+      Acl_tbl.add tbl acl s;
+      s)
 
 let clause_count (acl : Ast.acl) = List.length acl.clauses
 

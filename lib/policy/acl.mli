@@ -36,7 +36,12 @@ val permitted_set : ?diag:Diag.collector -> Ast.acl -> Prefix_set.t
     into their exact prefix cover via {!Rd_addr.Wildcard.to_prefixes}
     (exact up to 12 enumerated wildcard bits; beyond that the clause set
     is over-approximated by its smallest contiguous cover and an
-    [acl-wildcard-approx] warning is reported to [diag]). *)
+    [acl-wildcard-approx] warning is reported to [diag]).
+
+    Diag-less lowerings are memoized per domain on the physical identity
+    of the ACL value — the common path for instance-graph edges, which
+    reference the same parsed ACL many times.  Passing [diag] bypasses
+    the memo so warnings are reported on every explicit request. *)
 
 val clause_count : Ast.acl -> int
 

@@ -29,6 +29,24 @@ val of_dlists : ?diag:Diag.collector -> Ast.acl list -> t
     receives [acl-wildcard-approx] warnings when a clause set had to be
     over-approximated. *)
 
+val compile :
+  ?diag:Diag.collector ->
+  Ast.t ->
+  acls:string list ->
+  prefix_lists:string list ->
+  route_maps:string list ->
+  unit ->
+  t
+(** Lower a conjunction of config-named policies to one prefix set.
+    Each name is resolved against [cfg]; names that resolve to nothing
+    contribute no restriction (matching IOS behaviour for references to
+    undefined policies, which the lint pass reports separately).  Named
+    lowerings are memoized per domain on the physical identity of the
+    AST value, so every edge that references the same policy shares one
+    computed set — this is the route-filter "compile" step of the
+    hash-consed kernel (DESIGN.md §12).  Lowerings requested with [diag]
+    bypass the memo so warnings are never swallowed. *)
+
 val conj : t -> t -> t
 (** Both filters must permit. *)
 

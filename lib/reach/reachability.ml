@@ -7,11 +7,12 @@ type t = {
   routes : Prefix_set.t array;
   advertised : (int * Prefix_set.t) list;
   iterations : int;
+  internal : Prefix_set.t;
 }
 
 (* Compute every instance's origin set in one pass over the interfaces,
    processes, and local redistributions. *)
-let origins_bulk (g : Instance_graph.t) =
+let origins_bulk_direct (g : Instance_graph.t) =
   let catalog = g.catalog in
   let n = Array.length g.assignment.instances in
   let origins = Array.make n Prefix_set.empty in
@@ -64,30 +65,179 @@ let origins_bulk (g : Instance_graph.t) =
       let filter =
         match r.route_map with
         | None -> Rd_policy.Route_filter.everything
-        | Some name -> (
-          match Rd_config.Ast.find_route_map cfg name with
-          | Some rm ->
-            Rd_policy.Route_filter.of_route_map rm ~lookup_acl:(Rd_config.Ast.find_acl cfg)
-              ~lookup_prefix_list:(Rd_config.Ast.find_prefix_list cfg) ()
-          | None -> Rd_policy.Route_filter.everything)
+        | Some name ->
+          Rd_policy.Route_filter.compile cfg ~acls:[] ~prefix_lists:[]
+            ~route_maps:[ name ] ()
       in
       origins.(i) <- Prefix_set.union origins.(i) (Rd_policy.Route_filter.apply filter subject))
     g.local_redists;
   origins
 
+(* Per-domain graph→origins memo keyed by physical identity: the study
+   pipeline asks for origins through [compute], [origin_of_instance] and
+   the analysis passes, all against the same built graph.  The cached
+   array is shared — callers must treat it as read-only (the library
+   does). *)
+module Graph_tbl = Hashtbl.Make (struct
+  type t = Instance_graph.t
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+let origins_key : Prefix_set.t array Graph_tbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Graph_tbl.create 8)
+
+let origins_limit = 64
+
+let origins_bulk (g : Instance_graph.t) =
+  let tbl = Domain.DLS.get origins_key in
+  match Graph_tbl.find_opt tbl g with
+  | Some o -> o
+  | None ->
+    let o = origins_bulk_direct g in
+    if Graph_tbl.length tbl > origins_limit then Graph_tbl.reset tbl;
+    Graph_tbl.add tbl g o;
+    o
+
 let origin_of_instance (g : Instance_graph.t) inst_id = (origins_bulk g).(inst_id)
 
+(* What each external AS can hear from us, after fixpoint.  Accumulated
+   in a table keyed by AS (the edge list can mention one AS many times),
+   then ordered by descending last occurrence in the edge list — the
+   order the original assoc-list accumulation produced. *)
+let advertised_of (g : Instance_graph.t) routes =
+  let tbl = Hashtbl.create 16 in
+  List.iteri
+    (fun k (e : Instance_graph.edge) ->
+      match (e.src, e.dst) with
+      | Instance_graph.Inst i, Instance_graph.External a ->
+        let out = Rd_policy.Route_filter.apply e.filter routes.(i) in
+        (match Hashtbl.find_opt tbl a with
+         | Some (cur, _) -> Hashtbl.replace tbl a (Prefix_set.union cur out, k)
+         | None -> Hashtbl.replace tbl a (out, k))
+      | _ -> ())
+    g.edges;
+  Hashtbl.fold (fun a (s, k) acc -> (a, s, k) :: acc) tbl []
+  |> List.sort (fun (_, _, k1) (_, _, k2) -> Int.compare k2 k1)
+  |> List.map (fun (a, s, _) -> (a, s))
+
+let fixpoint_site = "reach.fixpoint"
+
+let finish ?metrics ~stats0 g origins routes iterations =
+  let advertised = advertised_of g routes in
+  let internal = Array.fold_left Prefix_set.union Prefix_set.empty origins in
+  (match metrics with
+   | None -> ()
+   | Some _ ->
+     let stats1 = Prefix_set.stats () in
+     Rd_util.Metrics.incr metrics "reach.computations";
+     Rd_util.Metrics.incr metrics ~by:iterations "reach.fixpoint_iterations";
+     Rd_util.Metrics.observe metrics "reach.iterations" (float_of_int iterations);
+     Rd_util.Metrics.incr metrics
+       ~by:(stats1.Prefix_set.nodes - stats0.Prefix_set.nodes)
+       "pset.nodes";
+     Rd_util.Metrics.incr metrics
+       ~by:(stats1.Prefix_set.memo_hits - stats0.Prefix_set.memo_hits)
+       "pset.memo_hits";
+     Rd_util.Metrics.incr metrics
+       ~by:(stats1.Prefix_set.memo_misses - stats0.Prefix_set.memo_misses)
+       "pset.memo_misses");
+  { graph = g; origins; routes; advertised; iterations; internal }
+
+(* Worklist fixpoint.  Instead of sweeping the whole edge list until a
+   quiet round, keep a frontier of instances whose route set changed and
+   only push along their outgoing edges (indexed once per call).  Each
+   frontier generation counts as one iteration and visits the
+   fault/budget hooks exactly like one round of the legacy sweep, so
+   fault plans and [max_fixpoint_iterations] budgets keep their observable
+   meaning (budget 0 still raises before any edge is processed). *)
 let compute ?metrics ?faults ?(limits = Rd_util.Limits.default)
     ?(external_offers = Prefix_set.full) (g : Instance_graph.t) =
+  let stats0 = Prefix_set.stats () in
   let origins = origins_bulk g in
-  let routes = Array.map (fun s -> s) origins in
+  let n = Array.length origins in
+  let routes = Array.map Fun.id origins in
+  let out_index = Array.make n [] in
+  let external_in = ref [] in
+  List.iter
+    (fun (e : Instance_graph.edge) ->
+      match e.src with
+      | Instance_graph.Inst i -> out_index.(i) <- e :: out_index.(i)
+      | Instance_graph.External _ -> (
+        match e.dst with
+        | Instance_graph.Inst _ -> external_in := e :: !external_in
+        | Instance_graph.External _ -> ()))
+    g.edges;
+  Array.iteri (fun i l -> out_index.(i) <- List.rev l) out_index;
+  let external_in = List.rev !external_in in
+  let dirty = Array.make n false in
+  let frontier = ref [] in
+  let mark d =
+    if not dirty.(d) then begin
+      dirty.(d) <- true;
+      frontier := d :: !frontier
+    end
+  in
+  let flow (e : Instance_graph.edge) inflow =
+    match e.dst with
+    | Instance_graph.External _ -> ()
+    | Instance_graph.Inst d ->
+      let add = Rd_policy.Route_filter.apply e.filter inflow in
+      let merged = Prefix_set.union routes.(d) add in
+      if not (Prefix_set.equal merged routes.(d)) then begin
+        routes.(d) <- merged;
+        mark d
+      end
+  in
+  let iterations = ref 0 in
+  let generation work =
+    incr iterations;
+    Rd_util.Fault.fault_point faults ~site:fixpoint_site;
+    Rd_util.Limits.check ~site:fixpoint_site ~budget:limits.max_fixpoint_iterations
+      !iterations;
+    work ()
+  in
+  (* Generation 1 seeds the pool: external offers flow in once (their
+     inflow is a constant, so those edges never need revisiting), then
+     every instance pushes its routes out. *)
+  generation (fun () ->
+      List.iter (fun e -> flow e external_offers) external_in;
+      for i = 0 to n - 1 do
+        dirty.(i) <- false;
+        List.iter (fun e -> flow e routes.(i)) out_index.(i)
+      done;
+      (* An instance marked before its own seed visit was already pushed
+         with the updated set; drop it from the frontier. *)
+      frontier := List.filter (fun i -> dirty.(i)) !frontier);
+  while !frontier <> [] do
+    let work = List.rev !frontier in
+    frontier := [];
+    generation (fun () ->
+        List.iter
+          (fun i ->
+            dirty.(i) <- false;
+            List.iter (fun e -> flow e routes.(i)) out_index.(i))
+          work)
+  done;
+  finish ?metrics ~stats0 g origins routes !iterations
+
+(* The legacy fixpoint: sweep every edge in rounds until a round changes
+   nothing.  Retained as executable reference semantics for the worklist
+   — the regression suite checks [compute] against it on all studied
+   networks, and the bench harness measures the worklist speedup with the
+   same workload. *)
+let compute_rounds ?(limits = Rd_util.Limits.default)
+    ?(external_offers = Prefix_set.full) (g : Instance_graph.t) =
+  let stats0 = Prefix_set.stats () in
+  let origins = origins_bulk g in
+  let routes = Array.map Fun.id origins in
   let changed = ref true in
   let iterations = ref 0 in
   while !changed do
     changed := false;
     incr iterations;
-    Rd_util.Fault.fault_point faults ~site:"reach.fixpoint";
-    Rd_util.Limits.check ~site:"reach.fixpoint" ~budget:limits.max_fixpoint_iterations
+    Rd_util.Limits.check ~site:fixpoint_site ~budget:limits.max_fixpoint_iterations
       !iterations;
     List.iter
       (fun (e : Instance_graph.edge) ->
@@ -107,31 +257,13 @@ let compute ?metrics ?faults ?(limits = Rd_util.Limits.default)
           end)
       g.edges
   done;
-  (* What each external AS can hear from us, after fixpoint. *)
-  let advertised =
-    List.fold_left
-      (fun acc (e : Instance_graph.edge) ->
-        match (e.src, e.dst) with
-        | Instance_graph.Inst i, Instance_graph.External a ->
-          let out = Rd_policy.Route_filter.apply e.filter routes.(i) in
-          let cur = try List.assoc a acc with Not_found -> Prefix_set.empty in
-          (a, Prefix_set.union cur out) :: List.remove_assoc a acc
-        | _ -> acc)
-      [] g.edges
-  in
-  (match metrics with
-   | None -> ()
-   | Some _ ->
-     Rd_util.Metrics.incr metrics "reach.computations";
-     Rd_util.Metrics.incr metrics ~by:!iterations "reach.fixpoint_iterations";
-     Rd_util.Metrics.observe metrics "reach.iterations" (float_of_int !iterations));
-  { graph = g; origins; routes; advertised; iterations = !iterations }
+  finish ~stats0 g origins routes !iterations
 
 let routes_of t i = t.routes.(i)
 
-let internal_space t = Array.fold_left Prefix_set.union Prefix_set.empty t.origins
+let internal_space t = t.internal
 
-let external_routes_of t i = Prefix_set.diff t.routes.(i) (internal_space t)
+let external_routes_of t i = Prefix_set.diff t.routes.(i) t.internal
 
 let instance_of_addr t a =
   let n = Array.length t.origins in

@@ -18,29 +18,55 @@ type t = {
       (** per instance: destinations it can have routes for at fixpoint. *)
   advertised : (int * Prefix_set.t) list;
       (** per external AS: our routes it can hear. *)
-  iterations : int;  (** fixpoint rounds used. *)
+  iterations : int;  (** fixpoint generations used. *)
+  internal : Prefix_set.t;
+      (** union of every instance's origins, computed once at
+          construction (see {!internal_space}). *)
 }
 
 val compute :
   ?metrics:Rd_util.Metrics.t -> ?faults:Rd_util.Fault.t -> ?limits:Rd_util.Limits.t ->
   ?external_offers:Prefix_set.t -> Rd_routing.Instance_graph.t -> t
-(** [external_offers] is the route set the outside world presents on every
+(** Worklist fixpoint: keeps a frontier of instances whose route set
+    changed and only pushes along their outgoing edges (indexed once per
+    call), instead of sweeping the whole edge list until a quiet round.
+    Reaches the same least fixpoint as {!compute_rounds} — the regression
+    suite proves the route and advertised sets semantically equal on all
+    studied networks.
+
+    [external_offers] is the route set the outside world presents on every
     inbound edge (default: the full address space — the Internet offers a
     route to everything).  [metrics] accumulates [reach.computations] and
     [reach.fixpoint_iterations] counters plus a per-call
-    [reach.iterations] histogram.
+    [reach.iterations] histogram, and attributes the prefix-set kernel's
+    work to this call as [pset.nodes] / [pset.memo_hits] /
+    [pset.memo_misses] deltas.
 
-    The fixpoint is budgeted: when the round count exceeds
+    The fixpoint is budgeted: when the generation count exceeds
     [limits.max_fixpoint_iterations] (default {!Rd_util.Limits.default},
     far beyond any real instance graph) the computation raises
     {!Rd_util.Limits.Budget_exceeded} with site ["reach.fixpoint"]
     instead of spinning.  [faults] arms the same-named {!Rd_util.Fault}
-    site, visited once per round. *)
+    site, visited once per generation — a budget of 0 raises before any
+    edge is processed, exactly like the legacy sweep. *)
+
+val compute_rounds :
+  ?limits:Rd_util.Limits.t -> ?external_offers:Prefix_set.t ->
+  Rd_routing.Instance_graph.t -> t
+(** The legacy fixpoint: sweep every edge in rounds until a round changes
+    nothing.  Retained as executable reference semantics for {!compute}
+    (regression tests, bench baseline); prefer {!compute}. *)
+
+val origins_bulk : Rd_routing.Instance_graph.t -> Prefix_set.t array
+(** Every instance's origin set, computed in one pass and memoized per
+    graph (physical identity, per domain).  Treat the returned array as
+    read-only — it is shared with later calls and with {!compute}. *)
 
 val origin_of_instance : Rd_routing.Instance_graph.t -> int -> Prefix_set.t
 (** Connected subnets attached to an instance: subnets of interfaces
     covered by its member processes, plus connected/static redistribution
-    into it. *)
+    into it.  One cheap array read after the first {!origins_bulk} of the
+    graph. *)
 
 val routes_of : t -> int -> Prefix_set.t
 
@@ -58,7 +84,8 @@ val two_way : t -> a:Ipv4.t -> b:Ipv4.t -> bool
     reachability is a real phenomenon. *)
 
 val internal_space : t -> Prefix_set.t
-(** Union of every instance's origins. *)
+(** Union of every instance's origins; computed once at construction and
+    cached in [t.internal]. *)
 
 val has_default : t -> int -> bool
 (** Whether instance holds a default (0.0.0.0/0-covering) route — net15

@@ -25,87 +25,49 @@ type t = {
 
 (* --- policy resolution -------------------------------------------------- *)
 
-let lookup_acl (cfg : Ast.t) name = Ast.find_acl cfg name
+(* All filter construction funnels through [Route_filter.compile], which
+   memoizes named-policy lowering per domain: an ACL or route-map
+   referenced by fifty edges is lowered to a prefix set once. *)
 
 let redist_filter (cfg : Ast.t) (r : Ast.redistribute) =
   match r.route_map with
   | None -> Rd_policy.Route_filter.everything
-  | Some name -> (
-    match Ast.find_route_map cfg name with
-    | None -> Rd_policy.Route_filter.everything
-    | Some rm ->
-      Rd_policy.Route_filter.of_route_map rm ~lookup_acl:(lookup_acl cfg)
-        ~lookup_prefix_list:(Ast.find_prefix_list cfg) ())
+  | Some name ->
+    Rd_policy.Route_filter.compile cfg ~acls:[] ~prefix_lists:[] ~route_maps:[ name ] ()
 
 (* Process-level distribute-lists in the given direction (ignoring
    per-interface qualifiers, which restrict but do not change the set of
    possibly-flowing routes). *)
 let process_dlist_filter (cfg : Ast.t) (p : Process.t) direction =
-  List.fold_left
-    (fun acc (d : Ast.distribute_list) ->
-      if d.dl_direction = direction && d.dl_interface = None then begin
-        match lookup_acl cfg d.dl_acl with
-        | Some acl -> Rd_policy.Route_filter.conj acc (Rd_policy.Route_filter.of_acl acl)
-        | None -> acc
-      end
-      else acc)
-    Rd_policy.Route_filter.everything p.ast.dlists
+  let acls =
+    List.filter_map
+      (fun (d : Ast.distribute_list) ->
+        if d.dl_direction = direction && d.dl_interface = None then Some d.dl_acl else None)
+      p.ast.dlists
+  in
+  Rd_policy.Route_filter.compile cfg ~acls ~prefix_lists:[] ~route_maps:[] ()
 
 let neighbor_filter (cfg : Ast.t) (n : Ast.neighbor) direction =
-  let dl =
-    List.fold_left
-      (fun acc (acl_name, d) ->
-        if d = direction then begin
-          match lookup_acl cfg acl_name with
-          | Some acl -> Rd_policy.Route_filter.conj acc (Rd_policy.Route_filter.of_acl acl)
-          | None -> acc
-        end
-        else acc)
-      Rd_policy.Route_filter.everything n.nb_dlists
+  let named l =
+    List.filter_map (fun (name, d) -> if d = direction then Some name else None) l
   in
-  let pl =
-    List.fold_left
-      (fun acc (pl_name, d) ->
-        if d = direction then begin
-          match Ast.find_prefix_list cfg pl_name with
-          | Some plist ->
-            Rd_policy.Route_filter.conj acc
-              (Rd_policy.Route_filter.of_prefix_list plist)
-          | None -> acc
-        end
-        else acc)
-      dl n.nb_prefix_lists
-  in
-  List.fold_left
-    (fun acc (rm_name, d) ->
-      if d = direction then begin
-        match Ast.find_route_map cfg rm_name with
-        | Some rm ->
-          Rd_policy.Route_filter.conj acc
-            (Rd_policy.Route_filter.of_route_map rm ~lookup_acl:(lookup_acl cfg)
-               ~lookup_prefix_list:(Ast.find_prefix_list cfg) ())
-        | None -> acc
-      end
-      else acc)
-    pl n.nb_route_maps
+  Rd_policy.Route_filter.compile cfg ~acls:(named n.nb_dlists)
+    ~prefix_lists:(named n.nb_prefix_lists)
+    ~route_maps:(named n.nb_route_maps) ()
 
 let find_neighbor (p : Process.t) peer_addr =
   List.find_opt (fun (n : Ast.neighbor) -> Ipv4.equal n.peer peer_addr) p.ast.neighbors
 
 (* The session filter for routes flowing out of process [p] toward peer
    address [peer] combined with routes flowing into process [q] from the
-   matching neighbor statement. *)
-let session_filter catalog (p : Process.t) (q : Process.t) =
+   matching neighbor statement.  [addrs_of_router] is precomputed once
+   per build (the old per-call interface scan was quadratic in sessions ×
+   interfaces). *)
+let session_filter catalog addrs_of_router (p : Process.t) (q : Process.t) =
   let cfg_p = snd catalog.Process.topo.routers.(p.router) in
   let cfg_q = snd catalog.Process.topo.routers.(q.router) in
   (* p's neighbor statement names an address on q's router and conversely. *)
-  let addr_of_router ri =
-    List.filter_map
-      (fun (i : Rd_topo.Topology.iface) ->
-        if i.router = ri then Option.map fst i.address else None)
-      (Array.to_list catalog.Process.topo.ifaces)
-  in
-  let q_addrs = addr_of_router q.router in
+  let q_addrs = addrs_of_router.(q.router) in
   let p_out =
     List.fold_left
       (fun acc (n : Ast.neighbor) ->
@@ -114,7 +76,7 @@ let session_filter catalog (p : Process.t) (q : Process.t) =
         else acc)
       Rd_policy.Route_filter.everything p.ast.neighbors
   in
-  let p_addrs = addr_of_router p.router in
+  let p_addrs = addrs_of_router.(p.router) in
   let q_in =
     List.fold_left
       (fun acc (n : Ast.neighbor) ->
@@ -131,6 +93,16 @@ let build ?metrics (catalog : Process.catalog) =
   let adjacency = Adjacency.compute catalog in
   let assignment = Instance.compute catalog adjacency in
   let inst_of pid = assignment.of_process.(pid) in
+  let addrs_of_router =
+    let a = Array.make (Array.length catalog.topo.routers) [] in
+    Array.iter
+      (fun (i : Rd_topo.Topology.iface) ->
+        match i.address with
+        | Some (addr, _) -> a.(i.router) <- addr :: a.(i.router)
+        | None -> ())
+      catalog.topo.ifaces;
+    a
+  in
   let edges = ref [] in
   let local_redists = ref [] in
   (* 1. Redistribution between processes on one router. *)
@@ -189,7 +161,7 @@ let build ?metrics (catalog : Process.catalog) =
                  src = Inst ip;
                  dst = Inst iq;
                  via = Ebgp_session { router = p.router; peer_addr = peer };
-                 filter = session_filter catalog p q;
+                 filter = session_filter catalog addrs_of_router p q;
                }
                :: !edges
            | None -> ());
@@ -200,7 +172,7 @@ let build ?metrics (catalog : Process.catalog) =
                 src = Inst iq;
                 dst = Inst ip;
                 via = Ebgp_session { router = q.router; peer_addr = peer };
-                filter = session_filter catalog q p;
+                filter = session_filter catalog addrs_of_router q p;
               }
               :: !edges
           | None -> ()

@@ -290,6 +290,95 @@ let prop_wildcard_to_prefixes_exact =
       && Wildcard.matches w addr = List.exists (fun p -> Prefix.mem addr p) ps
       && List.exists (fun p -> Prefix.mem forced p) ps)
 
+(* -------------------------------------- kernel vs structural reference --- *)
+
+module R = Prefix_set_ref
+
+let arb_prefixes =
+  QCheck.make
+    ~print:(fun ps -> String.concat "," (List.map Prefix.to_string ps))
+    QCheck.Gen.(list_size (int_bound 8) (QCheck.gen arb_prefix))
+
+let rec ref_canonical = function
+  | R.Empty | R.Full -> true
+  | R.Node (R.Empty, R.Empty) | R.Node (R.Full, R.Full) -> false
+  | R.Node (l, r) -> ref_canonical l && ref_canonical r
+
+let prop_kernel_matches_reference =
+  QCheck.Test.make ~name:"hash-consed kernel agrees with structural reference"
+    ~count:300
+    (QCheck.pair arb_prefixes arb_prefixes)
+    (fun (ps, qs) ->
+      let ka = Prefix_set.of_prefixes ps and kb = Prefix_set.of_prefixes qs in
+      let ra = R.of_prefixes ps and rb = R.of_prefixes qs in
+      let k_strings s = List.map Prefix.to_string (Prefix_set.to_prefixes s) in
+      let r_strings s = List.map Prefix.to_string (R.to_prefixes s) in
+      let agree op_k op_r = k_strings (op_k ka kb) = r_strings (op_r ra rb) in
+      ref_canonical ra && ref_canonical rb
+      && agree Prefix_set.union R.union
+      && agree Prefix_set.inter R.inter
+      && agree Prefix_set.diff R.diff
+      && k_strings (Prefix_set.complement ka) = r_strings (R.complement ra)
+      && Prefix_set.equal ka kb = R.equal ra rb
+      && Prefix_set.subset ka kb = R.subset ra rb
+      && Prefix_set.is_empty ka = R.is_empty ra
+      && Prefix_set.count_addresses ka = R.count_addresses ra)
+
+let prop_kernel_mem_matches_reference =
+  QCheck.Test.make ~name:"kernel mem agrees with reference" ~count:300
+    (QCheck.pair arb_prefixes arb_prefix)
+    (fun (ps, p) ->
+      let a = Prefix.addr p in
+      Prefix_set.mem a (Prefix_set.of_prefixes ps) = R.mem a (R.of_prefixes ps))
+
+(* Sets built in Pool worker domains come from foreign hashcons tables:
+   after the join their node ids never match locally-built twins, so the
+   structural fallback must carry equality/subset — including for fresh
+   algebra whose results mix imported and local subtrees. *)
+let test_set_cross_domain () =
+  let specs =
+    [
+      [ "10.0.0.0/8"; "192.168.0.0/16" ];
+      (* merges to 10.0.0.0/8 inside the worker *)
+      [ "10.0.0.0/9"; "10.128.0.0/9" ];
+      [ "172.16.0.0/12" ];
+      [];
+    ]
+  in
+  let build l = Prefix_set.of_prefixes (List.map pfx l) in
+  let imported = Rd_util.Pool.parallel_map ~jobs:3 build specs in
+  let local = List.map build specs in
+  List.iter2
+    (fun i l -> check_bool "imported = local" true (Prefix_set.equal i l))
+    imported local;
+  match imported with
+  | [ a; b; _c; e ] ->
+    check_bool "different sets differ" false (Prefix_set.equal a b);
+    check_bool "imported empty" true (Prefix_set.is_empty e);
+    check_bool "imported subset" true (Prefix_set.subset b a);
+    check_bool "imported not superset" false (Prefix_set.subset a b);
+    check_bool "inter of imported" true
+      (Prefix_set.equal (Prefix_set.inter a b) (set [ "10.0.0.0/8" ]));
+    let u = List.fold_left Prefix_set.union Prefix_set.empty imported in
+    check_bool "union of imported" true
+      (Prefix_set.equal u (set [ "10.0.0.0/8"; "192.168.0.0/16"; "172.16.0.0/12" ]));
+    check_bool "diff of imported" true
+      (Prefix_set.equal (Prefix_set.diff a b) (set [ "192.168.0.0/16" ]))
+  | l -> Alcotest.failf "expected 4 imported sets, got %d" (List.length l)
+
+let test_kernel_stats_move () =
+  let s0 = Prefix_set.stats () in
+  let a = set [ "10.0.0.0/8"; "192.168.0.0/16"; "172.16.0.0/12" ] in
+  let b = set [ "10.64.0.0/10"; "192.168.128.0/17" ] in
+  check_bool "union sane" true (Prefix_set.subset b (Prefix_set.union a b));
+  let s1 = Prefix_set.stats () in
+  check_bool "nodes monotone" true (s1.Prefix_set.nodes >= s0.Prefix_set.nodes);
+  check_bool "misses counted" true (s1.Prefix_set.memo_misses > s0.Prefix_set.memo_misses);
+  (* the exact same op again is a pure cache hit *)
+  let h0 = (Prefix_set.stats ()).Prefix_set.memo_hits in
+  ignore (Prefix_set.union a b);
+  check_bool "repeat op hits memo" true ((Prefix_set.stats ()).Prefix_set.memo_hits > h0)
+
 (* ------------------------------------------------------ Prefix_trie --- *)
 
 let test_trie_basics () =
@@ -407,6 +496,10 @@ let () =
             prop_count_matches_prefixes;
             prop_mem_union;
           ] );
+      ( "prefix_set kernel",
+        Alcotest.test_case "cross-domain pool sets" `Quick test_set_cross_domain
+        :: Alcotest.test_case "kernel stats" `Quick test_kernel_stats_move
+        :: qc [ prop_kernel_matches_reference; prop_kernel_mem_matches_reference ] );
       ( "prefix_trie",
         Alcotest.test_case "basics" `Quick test_trie_basics
         :: Alcotest.test_case "remove/update" `Quick test_trie_remove_update

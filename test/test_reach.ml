@@ -214,6 +214,43 @@ let test_fixpoint_terminates () =
   let r = Rd_reach.Reachability.compute a.graph in
   check_bool "few iterations" true (r.iterations < 30)
 
+(* The worklist fixpoint must land on exactly the same least fixpoint as
+   the legacy whole-edge-list sweep it replaced — checked field by field
+   (routes, origins, advertised incl. order, internal space) over every
+   network of the 31-network study. *)
+let same_fixpoint label (w : Rd_reach.Reachability.t) (r : Rd_reach.Reachability.t) =
+  check_int (label ^ ": instance count") (Array.length r.routes) (Array.length w.routes);
+  Array.iteri
+    (fun i s ->
+      check_bool (Printf.sprintf "%s: routes[%d]" label i) true
+        (Prefix_set.equal s w.routes.(i)))
+    r.routes;
+  Array.iteri
+    (fun i s ->
+      check_bool (Printf.sprintf "%s: origins[%d]" label i) true
+        (Prefix_set.equal s w.origins.(i)))
+    r.origins;
+  check_int (label ^ ": advertised count") (List.length r.advertised)
+    (List.length w.advertised);
+  List.iter2
+    (fun (a1, s1) (a2, s2) ->
+      check_int (label ^ ": advertised order") a1 a2;
+      check_bool (Printf.sprintf "%s: advertised AS%d" label a1) true
+        (Prefix_set.equal s1 s2))
+    r.advertised w.advertised;
+  check_bool (label ^ ": internal space") true (Prefix_set.equal r.internal w.internal)
+
+let test_worklist_matches_rounds_study () =
+  let nets = Rd_study.Population.build ~master_seed:2004 () in
+  check_int "31 networks" 31 (List.length nets);
+  List.iter
+    (fun (n : Rd_study.Population.network) ->
+      let g = n.analysis.graph in
+      same_fixpoint n.spec.label
+        (Rd_reach.Reachability.compute g)
+        (Rd_reach.Reachability.compute_rounds g))
+    nets
+
 (* ------------------------------------------------------------ properties --- *)
 
 let arb_seed_net =
@@ -231,6 +268,19 @@ let graph_of (a, s, n) =
   in
   let net = Rd_gen.Archetype.generate arch ~seed:s ~n ~index:(s mod 13) () in
   (Rd_core.Analysis.analyze ~name:"p" (Rd_gen.Builder.to_texts net)).graph
+
+let prop_worklist_matches_rounds =
+  QCheck.Test.make ~name:"worklist fixpoint = round-robin fixpoint" ~count:10 arb_seed_net
+    (fun spec ->
+      let g = graph_of spec in
+      let w = Rd_reach.Reachability.compute g in
+      let r = Rd_reach.Reachability.compute_rounds g in
+      Array.for_all2 Prefix_set.equal w.routes r.routes
+      && Array.for_all2 Prefix_set.equal w.origins r.origins
+      && List.length w.advertised = List.length r.advertised
+      && List.for_all2
+           (fun (a, s) (b, t) -> a = b && Prefix_set.equal s t)
+           w.advertised r.advertised)
 
 let prop_offers_monotone =
   QCheck.Test.make ~name:"external offers are monotone" ~count:15 arb_seed_net (fun spec ->
@@ -271,10 +321,13 @@ let () =
           Alcotest.test_case "restricted offers" `Quick test_restricted_offers;
           Alcotest.test_case "net15 end to end" `Quick test_net15_full;
           Alcotest.test_case "fixpoint terminates" `Quick test_fixpoint_terminates;
+          Alcotest.test_case "worklist = rounds on 31-network study" `Slow
+            test_worklist_matches_rounds_study;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [
+            prop_worklist_matches_rounds;
             prop_offers_monotone;
             prop_routes_include_origins;
             prop_internal_reachability_symmetric_origin;
