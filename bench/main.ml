@@ -277,11 +277,13 @@ let run_reach_bench nets =
   let graphs =
     List.map (fun (n : Rd_study.Population.network) -> n.analysis.Rd_core.Analysis.graph) nets
   in
-  (* Reference inputs (structural sets) prepared outside the timed region. *)
+  (* Reference inputs (structural sets) prepared outside the timed region.
+     The start array is [initial_routes] — origins plus default-originate
+     seeding — so the reference lands on the same fixpoint as [compute]. *)
   let ref_inputs =
     List.map
       (fun (g : Rd_routing.Instance_graph.t) ->
-        let origins = Array.map to_ref (Rd_reach.Reachability.origins_bulk g) in
+        let origins = Array.map to_ref (Rd_reach.Reachability.initial_routes g) in
         let filters =
           Array.of_list
             (List.map

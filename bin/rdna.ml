@@ -316,6 +316,90 @@ let whatif_cmd =
     (Cmd.info "whatif" ~doc:"Model the effect of failures/maintenance on the design (paper §8.1).")
     Term.(const run $ dir_arg $ routers_arg $ links_arg)
 
+(* --- crosscheck --------------------------------------------------------- *)
+
+let crosscheck_cmd =
+  let run dir study seed only jobs json shrink repro_dir =
+    guard @@ fun () ->
+    let inputs =
+      match (dir, study) with
+      | Some _, true -> die ~code:"usage" "give either DIR or --study, not both"
+      | Some d, false -> [ (Filename.basename d, load_dir d) ]
+      | None, true ->
+        Rd_study.Population.specs ~master_seed:seed
+        |> List.filter (fun (s : Rd_study.Population.spec) ->
+             only = [] || List.mem s.net_id only)
+        |> List.map (fun (s : Rd_study.Population.spec) ->
+             (s.label, Rd_study.Population.generate_one s))
+      | None, false -> die ~code:"usage" "give a DIR of configurations or --study"
+    in
+    let reports =
+      Rd_util.Pool.parallel_map ~jobs
+        (fun (name, files) -> Rd_check.Crosscheck.run ~name files)
+        inputs
+    in
+    if json then print_endline (Rd_util.Json.to_string (Rd_check.Crosscheck.to_json reports))
+    else print_string (Rd_check.Crosscheck.render reports);
+    if shrink then
+      List.iter2
+        (fun (name, files) (r : Rd_check.Crosscheck.report) ->
+          match r.violations with
+          | [] -> ()
+          | v :: _ ->
+            let violates fs =
+              Rd_check.Crosscheck.violates ~invariant:v.invariant ~name fs
+            in
+            let minimal = Rd_check.Shrink.shrink ~violates files in
+            let out = Filename.concat repro_dir (name ^ "-" ^ v.invariant) in
+            Rd_check.Shrink.write_repro ~dir:out ~network:name ~invariant:v.invariant
+              ~detail:v.detail minimal;
+            Printf.eprintf "repro written to %s (%d of %d files)\n" out
+              (List.length minimal) (List.length files))
+        inputs reports;
+    if Rd_check.Crosscheck.has_errors reports then exit 1
+  in
+  let dir_opt_arg =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"DIR" ~doc:"Directory of configuration files (omit with $(b,--study)).")
+  in
+  let study_arg =
+    Arg.(value & flag
+         & info [ "study" ] ~doc:"Cross-check every network of the 31-network study population.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 2004 & info [ "seed" ] ~docv:"SEED" ~doc:"Master seed (with --study).")
+  in
+  let only_arg =
+    Arg.(value & opt (list int) []
+         & info [ "only" ] ~docv:"IDS" ~doc:"Comma-separated net ids (with --study).")
+  in
+  let jobs_arg =
+    Arg.(value & opt int (Rd_util.Pool.default_jobs ())
+         & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Worker domains for parallel cross-checking.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON (what CI archives).")
+  in
+  let shrink_arg =
+    Arg.(value & flag
+         & info [ "shrink" ]
+             ~doc:"Delta-debug each violating network to a minimal set of configuration \
+                   files/stanzas and write a self-contained repro directory.")
+  in
+  let repro_arg =
+    Arg.(value & opt string "crosscheck-repro"
+         & info [ "repro-dir" ] ~docv:"DIR" ~doc:"Where $(b,--shrink) writes repro directories.")
+  in
+  Cmd.v
+    (Cmd.info "crosscheck"
+       ~doc:"Differential reachability cross-check: assert the concrete simulation's routes are \
+             contained in the static analysis (sim\xe2\x8a\x86static oracle) and run the \
+             metamorphic invariant suite (anonymize-structure, deny-filter monotonicity, \
+             remove-router monotonicity, worklist=rounds).  Exits non-zero on any \
+             error-severity violation.")
+    Term.(const run $ dir_opt_arg $ study_arg $ seed_arg $ only_arg $ jobs_arg $ json_arg
+          $ shrink_arg $ repro_arg)
+
 (* --- generate ----------------------------------------------------------- *)
 
 let generate_cmd =
@@ -522,5 +606,5 @@ let () =
           [
             parse_cmd; lint_cmd; anonymize_cmd; summary_cmd; instances_cmd; processes_cmd; areas_cmd;
             roles_cmd; pathway_cmd; reach_cmd; dot_cmd; audit_cmd; inventory_cmd; whatif_cmd;
-            generate_cmd; study_cmd;
+            crosscheck_cmd; generate_cmd; study_cmd;
           ]))

@@ -1,0 +1,464 @@
+open Rd_addr
+open Rd_config
+open Rd_core
+
+type violation = {
+  severity : Diag.severity;
+  invariant : string;
+  subject : string;
+  detail : string;
+}
+
+type report = {
+  network : string;
+  routers : int;
+  instances : int;
+  converged : bool;
+  approx : bool;
+  checked : string list;
+  skipped : (string * string) list;
+  violations : violation list;
+}
+
+let all_invariants =
+  [
+    "sim-subset-static";
+    "anonymize-structure";
+    "deny-filter-monotone";
+    "remove-router-monotone";
+    "worklist-equals-rounds";
+  ]
+
+(* --- admitted approximations ------------------------------------------- *)
+
+let approx_codes = [ "acl-wildcard-approx"; "route-map-tag-approx" ]
+
+(* Re-lower every named policy with a collector: the analysis pipeline
+   lowers them diag-less (and memoized), so this is where the
+   [*-approx] warnings become visible to the cross-check. *)
+let approximations (a : Analysis.t) =
+  List.concat_map
+    (fun (file, (cfg : Ast.t)) ->
+      let c = Diag.create ~file () in
+      List.iter (fun acl -> ignore (Rd_policy.Acl.permitted_set ~diag:c acl)) cfg.acls;
+      List.iter
+        (fun rm ->
+          ignore
+            (Rd_policy.Route_map.permitted_set ~diag:c rm ~lookup_acl:(Ast.find_acl cfg)
+               ~lookup_prefix_list:(Ast.find_prefix_list cfg) ()))
+        cfg.route_maps;
+      List.filter (fun (d : Diag.t) -> List.mem d.code approx_codes) (Diag.to_list c))
+    a.configs
+
+(* --- the sim⊆static oracle --------------------------------------------- *)
+
+let instance_subject (a : Analysis.t) i =
+  Rd_routing.Instance.to_string a.graph.assignment.instances.(i)
+
+let witnesses prefixes =
+  let shown = List.filteri (fun i _ -> i < 3) prefixes in
+  String.concat ", " (List.map Prefix.to_string shown)
+  ^ if List.length prefixes > 3 then Printf.sprintf " (+%d more)" (List.length prefixes - 3) else ""
+
+(* Soundness relation (DESIGN.md §13): every route the converged
+   simulation installs must be inside the static route set of the
+   instance holding it.  Two grades of escape: a route whose *network
+   address* is outside the static set breaks the relation outright
+   (error); a route that merely covers more addresses than the static
+   set grants (its network address is inside) is an artifact of
+   lowering per-route filters — which match a route by its network
+   address — to address sets, and is reported as a warning. *)
+let sim_subset_static ?limits ~approx (a : Analysis.t) (r : Rd_reach.Reachability.t) =
+  let pg = Rd_routing.Process_graph.build a.catalog in
+  let sim = Rd_sim.Propagate.run ?limits pg in
+  if not sim.converged then
+    Error
+      (Printf.sprintf "simulation unconverged after %d rounds; containment proves nothing"
+         sim.iterations)
+  else begin
+    let violations = ref [] in
+    Array.iteri
+      (fun i (inst : Rd_routing.Instance.t) ->
+        let static = Rd_reach.Reachability.routes_of r i in
+        let concrete = Rd_sim.Propagate.instance_prefix_set sim a.graph.assignment i in
+        if not (Prefix_set.subset concrete static) then begin
+          let dests =
+            List.concat_map
+              (fun pid ->
+                List.map
+                  (fun (rt : Rd_sim.Rib.route) -> rt.dest)
+                  (Rd_sim.Rib.routes (Rd_sim.Propagate.rib_of_process sim pid)))
+              inst.members
+            |> List.sort_uniq Prefix.compare
+          in
+          let sticking =
+            List.filter
+              (fun p -> not (Prefix_set.subset (Prefix_set.of_prefix p) static))
+              dests
+          in
+          let hard, soft =
+            List.partition (fun p -> not (Prefix_set.mem (Prefix.network p) static)) sticking
+          in
+          if hard <> [] then
+            violations :=
+              {
+                severity = (if approx then Diag.Warning else Diag.Error);
+                invariant = "sim-subset-static";
+                subject = instance_subject a i;
+                detail =
+                  Printf.sprintf "simulated routes outside the static route set: %s%s"
+                    (witnesses hard)
+                    (if approx then " (downgraded: config uses approximated policies)" else "");
+              }
+              :: !violations;
+          if soft <> [] then
+            violations :=
+              {
+                severity = Diag.Warning;
+                invariant = "sim-subset-static";
+                subject = instance_subject a i;
+                detail =
+                  Printf.sprintf
+                    "simulated routes coarser than the static set (network address contained): %s"
+                    (witnesses soft);
+              }
+              :: !violations
+        end)
+      a.graph.assignment.instances;
+    Ok (List.rev !violations)
+  end
+
+(* --- metamorphic invariants -------------------------------------------- *)
+
+(* Anonymization is structure-preserving by design (§4.1): the derived
+   routing design of the anonymized text must match the original's
+   shape even though every identifier and address changed. *)
+let protocol_tag = function
+  | Ast.Ospf -> "ospf"
+  | Ast.Eigrp -> "eigrp"
+  | Ast.Igrp -> "igrp"
+  | Ast.Rip -> "rip"
+  | Ast.Bgp -> "bgp"
+  | Ast.Isis -> "isis"
+
+let structure (a : Analysis.t) =
+  let shapes =
+    Array.to_list a.graph.assignment.instances
+    |> List.map (fun (i : Rd_routing.Instance.t) ->
+         Printf.sprintf "%s/%d/%d" (protocol_tag i.protocol) (List.length i.members)
+           (List.length i.routers))
+    |> List.sort compare
+  in
+  [
+    ("routers", string_of_int (Analysis.router_count a));
+    ("instances", string_of_int (Analysis.instance_count a));
+    ("instance shapes", String.concat " " shapes);
+    ("graph edges", string_of_int (List.length a.graph.edges));
+    ("external ASes", string_of_int (List.length (Analysis.external_asns a)));
+    ("address blocks", string_of_int (List.length a.blocks));
+  ]
+
+let anonymize_structure ?limits (a : Analysis.t) = function
+  | None -> Error "raw configuration texts not available"
+  | Some files ->
+    let anonymizer = Anonymizer.create ~key:("crosscheck-" ^ a.name) in
+    let anon =
+      List.map (fun (name, text) -> (name, Anonymizer.anonymize_config anonymizer text)) files
+    in
+    let a' = Analysis.analyze ?limits ~name:(a.name ^ "+anon") anon in
+    Ok
+      (List.filter_map
+         (fun ((what, before), (_, after)) ->
+           if String.equal before after then None
+           else
+             Some
+               {
+                 severity = Diag.Error;
+                 invariant = "anonymize-structure";
+                 subject = what;
+                 detail = Printf.sprintf "%s -> %s after anonymization" before after;
+               })
+         (List.combine (structure a) (structure a')))
+
+(* Conjoining every edge filter with a deny set can only shrink the
+   fixpoint: the static analysis is monotone in its filters. *)
+let deny_filter_monotone ?limits (a : Analysis.t) (r : Rd_reach.Reachability.t) =
+  match Prefix_set.to_prefixes (Rd_reach.Reachability.internal_space r) with
+  | [] -> Error "no internal address space to probe"
+  | probe :: _ ->
+    let deny =
+      Rd_policy.Route_filter.of_prefix_set
+        (Prefix_set.complement (Prefix_set.of_prefix probe))
+    in
+    let graph' =
+      {
+        a.graph with
+        Rd_routing.Instance_graph.edges =
+          List.map
+            (fun (e : Rd_routing.Instance_graph.edge) ->
+              { e with filter = Rd_policy.Route_filter.conj e.filter deny })
+            a.graph.edges;
+      }
+    in
+    let r' = Rd_reach.Reachability.compute ?limits graph' in
+    let violations = ref [] in
+    Array.iteri
+      (fun i _ ->
+        let shrunk = Rd_reach.Reachability.routes_of r' i in
+        let base = Rd_reach.Reachability.routes_of r i in
+        if not (Prefix_set.subset shrunk base) then
+          violations :=
+            {
+              severity = Diag.Error;
+              invariant = "deny-filter-monotone";
+              subject = instance_subject a i;
+              detail =
+                Printf.sprintf "route set grew under a deny filter on %s: %s"
+                  (Prefix.to_string probe)
+                  (witnesses (Prefix_set.to_prefixes (Prefix_set.diff shrunk base)));
+            }
+            :: !violations)
+      a.graph.assignment.instances;
+    Ok (List.rev !violations)
+
+(* Mirrors Whatif's sampling: one representative host per origin
+   prefix, capped for tractability. *)
+let sample_hosts (r : Rd_reach.Reachability.t) =
+  Array.to_list r.origins
+  |> List.concat_map Prefix_set.to_prefixes
+  |> List.filteri (fun i _ -> i < 24)
+  |> List.map (fun p -> Prefix.nth p (Prefix.size p / 2))
+
+(* Removing a router removes origins and edges; no sampled host pair
+   may become reachable.  Compared with empty external offers, as
+   Whatif.compare does, so the unknown outside world cannot mask a
+   growth. *)
+let remove_router_monotone ?limits (a : Analysis.t) =
+  if Array.length a.topo.routers = 0 then Error "no routers"
+  else begin
+    let name = fst a.topo.routers.(0) in
+    let after = Whatif.apply a [ Whatif.Remove_router name ] in
+    let rb =
+      Rd_reach.Reachability.compute ?limits ~external_offers:Prefix_set.empty a.graph
+    in
+    let ra =
+      Rd_reach.Reachability.compute ?limits ~external_offers:Prefix_set.empty after.graph
+    in
+    let hosts = sample_hosts rb in
+    let gained =
+      List.concat_map
+        (fun src ->
+          List.filter_map
+            (fun dst ->
+              if
+                (not (Ipv4.equal src dst))
+                && Rd_reach.Reachability.can_reach ra ~src ~dst
+                && not (Rd_reach.Reachability.can_reach rb ~src ~dst)
+              then Some (src, dst)
+              else None)
+            hosts)
+        hosts
+    in
+    Ok
+      (List.map
+         (fun (src, dst) ->
+           {
+             severity = Diag.Error;
+             invariant = "remove-router-monotone";
+             subject = name;
+             detail =
+               Printf.sprintf "%s -> %s became reachable after removing router %s"
+                 (Ipv4.to_string src) (Ipv4.to_string dst) name;
+           })
+         (List.filteri (fun i _ -> i < 8) gained))
+  end
+
+(* PR 5's 31-network regression, generalized: the worklist fixpoint and
+   the legacy full-sweep fixpoint must agree exactly. *)
+let worklist_equals_rounds ?limits (a : Analysis.t) (r : Rd_reach.Reachability.t) =
+  let r2 = Rd_reach.Reachability.compute_rounds ?limits a.graph in
+  let violations = ref [] in
+  Array.iteri
+    (fun i _ ->
+      if
+        not
+          (Prefix_set.equal
+             (Rd_reach.Reachability.routes_of r i)
+             (Rd_reach.Reachability.routes_of r2 i))
+      then
+        violations :=
+          {
+            severity = Diag.Error;
+            invariant = "worklist-equals-rounds";
+            subject = instance_subject a i;
+            detail = "worklist and round-sweep fixpoints disagree on the route set";
+          }
+          :: !violations)
+    a.graph.assignment.instances;
+  let sorted adv = List.sort (fun (a1, _) (a2, _) -> Int.compare a1 a2) adv in
+  let adv1 = sorted r.advertised and adv2 = sorted r2.advertised in
+  if
+    List.length adv1 <> List.length adv2
+    || not
+         (List.for_all2
+            (fun (as1, s1) (as2, s2) -> as1 = as2 && Prefix_set.equal s1 s2)
+            adv1 adv2)
+  then
+    violations :=
+      {
+        severity = Diag.Error;
+        invariant = "worklist-equals-rounds";
+        subject = "advertised";
+        detail = "worklist and round-sweep fixpoints disagree on advertised sets";
+      }
+      :: !violations;
+  Ok (List.rev !violations)
+
+(* --- driver ------------------------------------------------------------- *)
+
+let run_analysis ?limits ?(invariants = all_invariants) ?files (a : Analysis.t) =
+  let r = Rd_reach.Reachability.compute ?limits a.graph in
+  let approx = approximations a <> [] in
+  let checked = ref [] and skipped = ref [] and violations = ref [] in
+  let converged = ref true in
+  let record inv result =
+    match result with
+    | Ok vs ->
+      checked := inv :: !checked;
+      violations := !violations @ vs
+    | Error reason -> skipped := (inv, reason) :: !skipped
+  in
+  List.iter
+    (fun inv ->
+      match inv with
+      | "sim-subset-static" ->
+        let result = sim_subset_static ?limits ~approx a r in
+        (match result with Error _ -> converged := false | Ok _ -> ());
+        record inv result
+      | "anonymize-structure" -> record inv (anonymize_structure ?limits a files)
+      | "deny-filter-monotone" -> record inv (deny_filter_monotone ?limits a r)
+      | "remove-router-monotone" -> record inv (remove_router_monotone ?limits a)
+      | "worklist-equals-rounds" -> record inv (worklist_equals_rounds ?limits a r)
+      | other -> skipped := (other, "unknown invariant") :: !skipped)
+    invariants;
+  {
+    network = a.name;
+    routers = Analysis.router_count a;
+    instances = Analysis.instance_count a;
+    converged = !converged;
+    approx;
+    checked = List.rev !checked;
+    skipped = List.rev !skipped;
+    violations = !violations;
+  }
+
+let run ?limits ?invariants ~name files =
+  let a = Analysis.analyze ?limits ~name files in
+  run_analysis ?limits ?invariants ~files a
+
+let violates ?limits ~invariant ~name files =
+  match run ?limits ~invariants:[ invariant ] ~name files with
+  | report -> List.exists (fun v -> v.invariant = invariant) report.violations
+  | exception _ -> false
+
+let severity_counts reports =
+  List.fold_left
+    (fun (e, w) (r : report) ->
+      List.fold_left
+        (fun (e, w) v ->
+          match v.severity with
+          | Diag.Error -> (e + 1, w)
+          | Diag.Warning | Diag.Info -> (e, w + 1))
+        (e, w) r.violations)
+    (0, 0) reports
+
+let has_errors reports =
+  List.exists
+    (fun (r : report) -> List.exists (fun v -> v.severity = Diag.Error) r.violations)
+    reports
+
+let render reports =
+  let buf = Buffer.create 1024 in
+  let rows =
+    List.map
+      (fun (r : report) ->
+        let e, w =
+          List.fold_left
+            (fun (e, w) v ->
+              if v.severity = Diag.Error then (e + 1, w) else (e, w + 1))
+            (0, 0) r.violations
+        in
+        [
+          r.network;
+          string_of_int r.routers;
+          string_of_int r.instances;
+          (if r.converged then "yes" else "no");
+          (if r.approx then "yes" else "no");
+          string_of_int (List.length r.checked);
+          string_of_int (List.length r.skipped);
+          Printf.sprintf "%dE/%dW" e w;
+        ])
+      reports
+  in
+  Buffer.add_string buf
+    (Rd_util.Table.render
+       ~headers:
+         [ "network"; "routers"; "insts"; "sim"; "approx"; "checked"; "skipped"; "violations" ]
+       ~aligns:
+         Rd_util.Table.
+           [ Left; Right; Right; Left; Left; Right; Right; Right ]
+       rows);
+  List.iter
+    (fun (r : report) ->
+      List.iter
+        (fun (inv, reason) ->
+          Printf.bprintf buf "SKIP %s %s: %s\n" r.network inv reason)
+        r.skipped;
+      List.iter
+        (fun v ->
+          Printf.bprintf buf "%s %s %s [%s]: %s\n"
+            (String.uppercase_ascii (Diag.severity_to_string v.severity))
+            r.network v.invariant v.subject v.detail)
+        r.violations)
+    reports;
+  let e, w = severity_counts reports in
+  Printf.bprintf buf "%d networks cross-checked, %d errors, %d warnings\n"
+    (List.length reports) e w;
+  Buffer.contents buf
+
+let to_json reports =
+  let open Rd_util.Json in
+  let violation v =
+    Obj
+      [
+        ("severity", String (Diag.severity_to_string v.severity));
+        ("invariant", String v.invariant);
+        ("subject", String v.subject);
+        ("detail", String v.detail);
+      ]
+  in
+  let network (r : report) =
+    Obj
+      [
+        ("network", String r.network);
+        ("routers", Int r.routers);
+        ("instances", Int r.instances);
+        ("converged", Bool r.converged);
+        ("approx", Bool r.approx);
+        ("checked", List (List.map (fun s -> String s) r.checked));
+        ( "skipped",
+          List
+            (List.map
+               (fun (inv, reason) ->
+                 Obj [ ("invariant", String inv); ("reason", String reason) ])
+               r.skipped) );
+        ("violations", List (List.map violation r.violations));
+      ]
+  in
+  let e, w = severity_counts reports in
+  Obj
+    [
+      ("networks", List (List.map network reports));
+      ("errors", Int e);
+      ("warnings", Int w);
+    ]

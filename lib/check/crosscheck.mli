@@ -1,0 +1,83 @@
+(** Differential cross-check of the two reachability engines.
+
+    The repo holds two independent answers to "which destinations can
+    this part of the network route to": the concrete route-propagation
+    simulator ({!Rd_sim.Propagate}) and the instance-level static
+    fixpoint ({!Rd_reach.Reachability}, a deliberate over-approximation
+    in the CMU-CS-04-146 style).  Nothing forces them to agree — this
+    module checks the soundness relation between them (the sim⊆static
+    oracle) plus a catalogue of metamorphic invariants the analysis
+    pipeline must satisfy, and reports violations as structured,
+    severity-graded records.  See DESIGN.md §13 for the soundness
+    argument and the invariant catalogue. *)
+
+type violation = {
+  severity : Rd_config.Diag.severity;
+  invariant : string;  (** stable kebab-case id, e.g. ["sim-subset-static"]. *)
+  subject : string;  (** instance / router the violation points at. *)
+  detail : string;
+}
+
+type report = {
+  network : string;
+  routers : int;
+  instances : int;
+  converged : bool;
+      (** the simulation reached fixpoint within the round budget; when
+          [false] the oracle is skipped (an unconverged simulation is an
+          under-approximation of an under-approximation — containment
+          against it proves nothing). *)
+  approx : bool;
+      (** the configs contain policies whose static lowering is an
+          admitted over-approximation ([acl-wildcard-approx] /
+          [route-map-tag-approx] diags) — containment violations are
+          then downgraded to warnings. *)
+  checked : string list;  (** invariants that ran to completion. *)
+  skipped : (string * string) list;  (** (invariant, reason) pairs. *)
+  violations : violation list;
+}
+
+val all_invariants : string list
+(** The invariant catalogue, in run order: [sim-subset-static],
+    [anonymize-structure], [deny-filter-monotone],
+    [remove-router-monotone], [worklist-equals-rounds]. *)
+
+val run_analysis :
+  ?limits:Rd_util.Limits.t ->
+  ?invariants:string list ->
+  ?files:(string * string) list ->
+  Rd_core.Analysis.t ->
+  report
+(** Cross-check an already-analyzed network.  [invariants] restricts the
+    catalogue (default: all).  [files] supplies the raw configuration
+    texts; without them the [anonymize-structure] invariant (which must
+    re-anonymize and re-parse the text) is skipped with a reason.
+    [limits] bounds both fixpoints and the simulation rounds. *)
+
+val run :
+  ?limits:Rd_util.Limits.t ->
+  ?invariants:string list ->
+  name:string ->
+  (string * string) list ->
+  report
+(** Analyze [(file, text)] configurations and {!run_analysis} them. *)
+
+val violates :
+  ?limits:Rd_util.Limits.t -> invariant:string -> name:string ->
+  (string * string) list -> bool
+(** Does this configuration set still violate [invariant]?  Exceptions
+    during analysis count as "no" (a crashing subset is not a
+    reproduction) — this is the {!Shrink.predicate} the counterexample
+    shrinker drives. *)
+
+val has_errors : report list -> bool
+(** Any error-severity violation in any report. *)
+
+val render : report list -> string
+(** Per-network summary table followed by one line per violation and
+    per skipped invariant. *)
+
+val to_json : report list -> Rd_util.Json.t
+(** Machine-readable form: [{networks: [...], errors: n, warnings: n}],
+    each network carrying its violations and skips — what
+    [rdna crosscheck --json] emits and CI archives. *)

@@ -1,0 +1,101 @@
+type predicate = (string * string) list -> bool
+
+(* n roughly-equal contiguous chunks, in order. *)
+let split pieces n =
+  let len = List.length pieces in
+  let base = len / n and rem = len mod n in
+  let rec go i start acc =
+    if i = n then List.rev acc
+    else begin
+      let sz = base + if i < rem then 1 else 0 in
+      let chunk = List.filteri (fun j _ -> j >= start && j < start + sz) pieces in
+      go (i + 1) (start + sz) (chunk :: acc)
+    end
+  in
+  go 0 0 []
+
+let ddmin ~violates pieces =
+  let rec go pieces n =
+    let len = List.length pieces in
+    if len <= 1 then pieces
+    else begin
+      let chunks = split pieces n in
+      match List.find_opt violates chunks with
+      | Some c -> go c 2
+      | None -> (
+        let complements =
+          List.mapi
+            (fun i _ -> List.concat (List.filteri (fun j _ -> j <> i) chunks))
+            chunks
+        in
+        match List.find_opt violates complements with
+        | Some c -> go c (max (n - 1) 2)
+        | None -> if n < len then go pieces (min (2 * n) len) else pieces)
+    end
+  in
+  if violates pieces then go pieces 2 else pieces
+
+let stanzas text =
+  let lines = String.split_on_char '\n' text in
+  (* split_on_char drops the newlines; re-attach one to every line except
+     a final fragment produced by text not ending in '\n'. *)
+  let rec attach = function
+    | [] -> []
+    | [ "" ] -> []
+    | [ last ] -> [ last ]
+    | l :: rest -> (l ^ "\n") :: attach rest
+  in
+  let flush acc cur = if cur = [] then acc else String.concat "" (List.rev cur) :: acc in
+  let rec go acc cur = function
+    | [] -> List.rev (flush acc cur)
+    | line :: rest ->
+      let indented = String.length line > 0 && (line.[0] = ' ' || line.[0] = '\t') in
+      if indented && cur <> [] then go acc (line :: cur) rest
+      else go (flush acc cur) [ line ] rest
+  in
+  go [] [] (attach lines)
+
+let shrink ~violates files =
+  let files = ddmin ~violates files in
+  (* Stanza pass: minimize one file at a time, holding the others. *)
+  let rec per_file i files =
+    if i >= List.length files then files
+    else begin
+      let before = List.filteri (fun j _ -> j < i) files in
+      let name, text = List.nth files i in
+      let after = List.filteri (fun j _ -> j > i) files in
+      let pieces = stanzas text in
+      if List.length pieces <= 1 then per_file (i + 1) files
+      else begin
+        let rebuild ps = before @ ((name, String.concat "" ps) :: after) in
+        let kept = ddmin ~violates:(fun ps -> violates (rebuild ps)) pieces in
+        per_file (i + 1) (rebuild kept)
+      end
+    end
+  in
+  let files = per_file 0 files in
+  let nonempty = List.filter (fun (_, t) -> String.trim t <> "") files in
+  if List.length nonempty < List.length files && violates nonempty then nonempty else files
+
+let rec ensure_dir d =
+  if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+    ensure_dir (Filename.dirname d);
+    Sys.mkdir d 0o755
+  end
+
+let write_file path text =
+  let oc = open_out_bin path in
+  output_string oc text;
+  close_out oc
+
+let write_repro ~dir ~network ~invariant ~detail files =
+  ensure_dir dir;
+  List.iter (fun (name, text) -> write_file (Filename.concat dir name) text) files;
+  let buf = Buffer.create 512 in
+  Printf.bprintf buf "# Cross-check counterexample\n\n";
+  Printf.bprintf buf "- network: `%s`\n- invariant: `%s`\n- detail: %s\n\n" network invariant
+    detail;
+  Printf.bprintf buf "Minimal configuration set (%d files):\n\n" (List.length files);
+  List.iter (fun (name, _) -> Printf.bprintf buf "- `%s`\n" name) files;
+  Printf.bprintf buf "\nReproduce with:\n\n    rdna crosscheck %s\n" dir;
+  write_file (Filename.concat dir "REPRO.md") (Buffer.contents buf)

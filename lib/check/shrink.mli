@@ -1,0 +1,42 @@
+(** Counterexample shrinking for cross-check violations.
+
+    When an invariant fails on a network, the interesting question is
+    {e which part} of the configuration triggers it.  This module
+    delta-debugs (Zeller's ddmin) a violating set of configuration files
+    down to a 1-minimal subset, first at file granularity and then at
+    stanza granularity inside each surviving file, and can write the
+    result out as a self-contained repro directory.
+
+    Everything here is deterministic: the same predicate and input
+    produce the same minimal set, with no randomness and no dependence
+    on wall-clock time. *)
+
+type predicate = (string * string) list -> bool
+(** Does this set of [(file, text)] configurations still violate the
+    invariant?  Must be [false] on inputs it cannot analyze — a crashing
+    subset is not a reproduction. *)
+
+val ddmin : violates:('a list -> bool) -> 'a list -> 'a list
+(** Classic delta debugging over an opaque piece list: returns a
+    1-minimal sublist on which [violates] still holds (removing any
+    single remaining piece stops the violation).  Requires
+    [violates pieces = true]; returns [pieces] unchanged otherwise.
+    Pieces keep their relative order. *)
+
+val stanzas : string -> string list
+(** Split configuration text into top-level stanzas: a stanza starts at
+    a non-indented line and carries its indented continuation lines.
+    [String.concat ""] over the result rebuilds the text exactly. *)
+
+val shrink : violates:predicate -> (string * string) list -> (string * string) list
+(** Hierarchical shrink: {!ddmin} over whole files, then {!ddmin} over
+    each surviving file's {!stanzas}, then drop files shrunk to
+    whitespace (kept if dropping them stops the violation).  The result
+    still satisfies [violates]. *)
+
+val write_repro :
+  dir:string -> network:string -> invariant:string -> detail:string ->
+  (string * string) list -> unit
+(** Write the shrunken files plus a [REPRO.md] (network, invariant,
+    violation detail, and the command to re-run the check) under [dir],
+    creating it as needed. *)

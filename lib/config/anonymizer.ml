@@ -1,9 +1,20 @@
 open Rd_addr
 open Rd_util
 
-type t = { key : string; token_cache : (string, string) Hashtbl.t }
+type t = {
+  key : string;
+  token_cache : (string, string) Hashtbl.t;
+  as_cache : (int, int) Hashtbl.t;
+  as_used : (int, unit) Hashtbl.t;
+}
 
-let create ~key = { key; token_cache = Hashtbl.create 256 }
+let create ~key =
+  {
+    key;
+    token_cache = Hashtbl.create 256;
+    as_cache = Hashtbl.create 64;
+    as_used = Hashtbl.create 64;
+  }
 
 (* --- dictionary -------------------------------------------------------- *)
 
@@ -92,14 +103,33 @@ let anonymize_token t tok =
 
 (* Prefix-preserving bit-by-bit anonymization: output bit i is input bit i
    xored with a PRF of the first i input bits (the tcpdpriv / Crypto-PAn
-   construction). *)
+   construction).
+
+   The leading class bits (0 / 10 / 110 / 1110) pass through unflipped:
+   classful protocols (RIP, IGRP, classful [network] statements) infer
+   the mask from the address class, so letting 10.0.0.0 wander out of
+   class A silently changes which interfaces a process covers — the
+   cross-check's anonymize-structure invariant caught a RIP instance
+   shattering into singletons this way.  The exactness guarantee is
+   unharmed: "flip nothing" is just a particular choice of PRF value,
+   and whether bit i is a class bit depends only on the first i input
+   bits (i < class_bits x  iff  the first min(i,3) bits are all ones). *)
+let class_bits x =
+  if x lsr 31 = 0 then 1
+  else if x lsr 30 = 0b10 then 2
+  else if x lsr 29 = 0b110 then 3
+  else 4
+
 let anonymize_addr t a =
   let x = Ipv4.to_int a in
+  let cb = class_bits x in
   let out = ref 0 in
   for i = 0 to 31 do
     let prefix = if i = 0 then 0 else x lsr (32 - i) in
     let flip =
-      Int64.to_int (Int64.logand (Sha1.prf ~key:t.key (Printf.sprintf "ip:%d:%d" i prefix)) 1L)
+      if i < cb then 0
+      else
+        Int64.to_int (Int64.logand (Sha1.prf ~key:t.key (Printf.sprintf "ip:%d:%d" i prefix)) 1L)
     in
     let bit = (x lsr (31 - i)) land 1 in
     out := (!out lsl 1) lor (bit lxor flip)
@@ -108,12 +138,30 @@ let anonymize_addr t a =
 
 let private_as n = n >= 64512 && n <= 65534
 
+(* The PRF alone is not injective: a network peering with a thousand-odd
+   external ASes expects ~birthday-bound collisions in a 64511-slot
+   range, and two distinct peers silently merging into one anonymized AS
+   changes the design (the cross-check's anonymize-structure invariant
+   caught exactly that on the seven largest BGP networks).  So the PRF
+   value only picks the *starting* slot; linear probing finds the first
+   slot not already handed out by this state, which makes the mapping
+   injective per [t] while staying deterministic. *)
 let anonymize_as t n =
   if n = 0 || private_as n || n > 65535 then n
-  else begin
-    let h = Sha1.prf ~key:t.key (Printf.sprintf "as:%d" n) in
-    1 + Int64.to_int (Int64.rem (Int64.logand h Int64.max_int) 64511L)
-  end
+  else
+    match Hashtbl.find_opt t.as_cache n with
+    | Some v -> v
+    | None ->
+      let h = Sha1.prf ~key:t.key (Printf.sprintf "as:%d" n) in
+      let start = Int64.to_int (Int64.rem (Int64.logand h Int64.max_int) 64511L) in
+      let rec probe i =
+        let v = 1 + ((start + i) mod 64511) in
+        if Hashtbl.mem t.as_used v then probe (i + 1) else v
+      in
+      let v = probe 0 in
+      Hashtbl.replace t.as_cache n v;
+      Hashtbl.replace t.as_used v ();
+      v
 
 (* A token that parses as an address but is really a mask must be kept:
    contiguous netmasks (ones then zeros) and contiguous wildcards (zeros

@@ -14,7 +14,9 @@
     - IP addresses are anonymized prefix-preservingly (tcpdpriv style):
       two addresses sharing a k-bit prefix share exactly a k-bit prefix
       after anonymization, so subnet matching still works on the
-      anonymized files;
+      anonymized files; the address class (leading 0 / 10 / 110 / 1110
+      bits) is additionally preserved, so classful [network] statements
+      (RIP/IGRP) keep covering the same interfaces;
     - netmasks and wildcard masks are recognized and left intact.
 
     All mappings are keyed: the same [key] reproduces the same mapping. *)
@@ -36,7 +38,9 @@ val anonymize_token : t -> string -> string
 
 val anonymize_as : t -> int -> int
 (** Public AS numbers are remapped into [\[1, 64511\]]; private AS numbers
-    and 0 are returned unchanged. *)
+    and 0 are returned unchanged.  The mapping is injective per [t]
+    (PRF-chosen slot, deterministic linear probing on collision), so
+    distinct peer ASes never merge under anonymization. *)
 
 val anonymize_config : t -> string -> string
 (** Anonymize a whole configuration file. *)

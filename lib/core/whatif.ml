@@ -13,6 +13,7 @@ type diff = {
   instances_after : int;
   split_instances : (Rd_routing.Instance.t * int) list;
   lost_reachability : (Ipv4.t * Ipv4.t) list;
+  warnings : string list;
 }
 
 let matches_router (file, (cfg : Ast.t)) name = file = name || cfg.hostname = Some name
@@ -26,31 +27,73 @@ let shutdown_iface (cfg : Ast.t) pred =
         cfg.interfaces;
   }
 
-let apply_change configs = function
-  | Remove_router name -> List.filter (fun rc -> not (matches_router rc name)) configs
+(* Each change reports the targets it failed to match: a typoed router or
+   interface name must not silently turn a maintenance scenario into a
+   no-op that reports "no impact". *)
+let apply_change_checked configs = function
+  | Remove_router name ->
+    let kept = List.filter (fun rc -> not (matches_router rc name)) configs in
+    let warnings =
+      if List.length kept = List.length configs then
+        [ Printf.sprintf "remove-router: no router named %S" name ]
+      else []
+    in
+    (kept, warnings)
   | Remove_link subnet ->
-    List.map
-      (fun (file, cfg) ->
-        ( file,
-          shutdown_iface cfg (fun i ->
-              match i.Ast.if_address with
-              | Some (a, m) -> (
-                match Prefix.of_addr_mask a m with
-                | Some p -> Prefix.equal p subnet
-                | None -> false)
-              | None -> false) ))
-      configs
+    let hit = ref false in
+    let on_link (i : Ast.interface) =
+      match i.Ast.if_address with
+      | Some (a, m) -> (
+        match Prefix.of_addr_mask a m with
+        | Some p ->
+          let matched = Prefix.equal p subnet in
+          if matched then hit := true;
+          matched
+        | None -> false)
+      | None -> false
+    in
+    let configs = List.map (fun (file, cfg) -> (file, shutdown_iface cfg on_link)) configs in
+    let warnings =
+      if !hit then []
+      else [ Printf.sprintf "remove-link: no interface on subnet %s" (Prefix.to_string subnet) ]
+    in
+    (configs, warnings)
   | Shutdown_interface (router, ifname) ->
-    List.map
-      (fun ((file, cfg) as rc) ->
-        if matches_router rc router then
-          (file, shutdown_iface cfg (fun i -> i.Ast.if_name = ifname))
-        else rc)
-      configs
+    let router_hit = ref false and iface_hit = ref false in
+    let configs =
+      List.map
+        (fun ((file, cfg) as rc) ->
+          if matches_router rc router then begin
+            router_hit := true;
+            ( file,
+              shutdown_iface cfg (fun i ->
+                  let matched = i.Ast.if_name = ifname in
+                  if matched then iface_hit := true;
+                  matched) )
+          end
+          else rc)
+        configs
+    in
+    let warnings =
+      if not !router_hit then
+        [ Printf.sprintf "shutdown-interface: no router named %S" router ]
+      else if not !iface_hit then
+        [ Printf.sprintf "shutdown-interface: router %S has no interface %S" router ifname ]
+      else []
+    in
+    (configs, warnings)
 
-let apply (t : Analysis.t) changes =
-  let configs = List.fold_left apply_change t.configs changes in
-  Analysis.analyze_asts ~name:(t.name ^ "+whatif") configs
+let apply_checked (t : Analysis.t) changes =
+  let configs, warnings =
+    List.fold_left
+      (fun (configs, warnings) change ->
+        let configs, w = apply_change_checked configs change in
+        (configs, warnings @ w))
+      (t.configs, []) changes
+  in
+  (Analysis.analyze_asts ~name:(t.name ^ "+whatif") configs, warnings)
+
+let apply (t : Analysis.t) changes = fst (apply_checked t changes)
 
 let sample_hosts (r : Rd_reach.Reachability.t) =
   (* one representative host per origin prefix, capped for tractability *)
@@ -59,7 +102,7 @@ let sample_hosts (r : Rd_reach.Reachability.t) =
   |> List.filteri (fun i _ -> i < 24)
   |> List.map (fun p -> Prefix.nth p (Prefix.size p / 2))
 
-let compare ~(before : Analysis.t) ~(after : Analysis.t) =
+let compare ?(warnings = []) ~(before : Analysis.t) ~(after : Analysis.t) () =
   (* map a process to its instance in the new analysis by (router name,
      protocol, proc id) identity *)
   let key (a : Analysis.t) (p : Rd_routing.Process.t) =
@@ -113,12 +156,16 @@ let compare ~(before : Analysis.t) ~(after : Analysis.t) =
     instances_after = Analysis.instance_count after;
     split_instances;
     lost_reachability = lost;
+    warnings;
   }
 
-let run t changes = compare ~before:t ~after:(apply t changes)
+let run t changes =
+  let after, warnings = apply_checked t changes in
+  compare ~warnings ~before:t ~after ()
 
 let render d =
   let buf = Buffer.create 512 in
+  List.iter (fun w -> Printf.bprintf buf "WARNING: %s\n" w) d.warnings;
   Printf.bprintf buf "routing instances: %d -> %d\n" d.instances_before d.instances_after;
   if d.split_instances = [] then Printf.bprintf buf "no instance was partitioned\n"
   else

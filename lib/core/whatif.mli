@@ -22,15 +22,24 @@ type diff = {
           the change partitioned the instance). *)
   lost_reachability : (Rd_addr.Ipv4.t * Rd_addr.Ipv4.t) list;
       (** sampled host pairs reachable before but not after. *)
+  warnings : string list;
+      (** changes whose router/interface/subnet target matched nothing —
+          a typoed maintenance scenario must not report "no impact". *)
 }
 
 val apply : Analysis.t -> change list -> Analysis.t
 (** Re-analyze the network with the changes applied.  Unknown router or
-    interface names are ignored. *)
+    interface names are skipped; use {!apply_checked} to observe them. *)
 
-val compare : before:Analysis.t -> after:Analysis.t -> diff
+val apply_checked : Analysis.t -> change list -> Analysis.t * string list
+(** Like {!apply}, also returning one warning per change target that
+    matched no router, interface, or link subnet. *)
+
+val compare :
+  ?warnings:string list -> before:Analysis.t -> after:Analysis.t -> unit -> diff
 (** Structural and reachability diff (reachability is sampled over the
-    instances' origin sets). *)
+    instances' origin sets).  [warnings] (from {!apply_checked}) is
+    carried onto the diff. *)
 
 val run : Analysis.t -> change list -> diff
 (** [apply] + [compare]. *)

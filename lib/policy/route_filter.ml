@@ -62,6 +62,8 @@ let of_prefix_list pl = Pl_memo.get pl (fun () -> Prefix_list_policy.permitted_s
 let of_dlists ?diag acls =
   List.fold_left (fun acc a -> Prefix_set.inter acc (of_acl ?diag a)) everything acls
 
+let of_prefix_set s = s
+
 let conj = Prefix_set.inter
 
 let compile ?diag (cfg : Ast.t) ~acls ~prefix_lists ~route_maps () =

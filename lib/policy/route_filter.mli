@@ -47,6 +47,12 @@ val compile :
     hash-consed kernel (DESIGN.md §12).  Lowerings requested with [diag]
     bypass the memo so warnings are never swallowed. *)
 
+val of_prefix_set : Prefix_set.t -> t
+(** A filter permitting exactly the given destination set — used to
+    inject synthetic policies, e.g. the cross-check's deny-filter
+    monotonicity invariant conjoining every edge with the complement of a
+    probe prefix. *)
+
 val conj : t -> t -> t
 (** Both filters must permit. *)
 

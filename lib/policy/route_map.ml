@@ -68,15 +68,30 @@ let permitted_set ?diag (rm : Ast.route_map) ~lookup_acl ?(lookup_prefix_list = 
       |> fun base ->
       List.fold_left (fun acc n -> Prefix_set.union acc (pl_set n)) base pls
   in
+  (* Tag matches are invisible at the prefix-set level, so an entry with
+     [match tag] only *maybe* applies to a route.  To stay an
+     over-approximation: a permit entry still contributes its prefixes
+     (the route might match), but a deny entry must claim nothing — a
+     route its tag clause rejects falls through to later permit entries.
+     The old behaviour (deny claims its prefix set) silently
+     under-approximated, which the crosscheck oracle flags as a
+     containment violation. *)
+  let tag_approx (e : Ast.route_map_entry) =
+    if e.match_tags <> [] then
+      Diag.reportf diag Diag.Warning ~code:"route-map-tag-approx"
+        "route-map %s entry %d matches on tag; permitted set is over-approximated (tag \
+         matches are ignored)"
+        rm.rm_name e.seq
+  in
   let rec go permitted claimed = function
     | [] -> permitted
     | (e : Ast.route_map_entry) :: rest ->
+      tag_approx e;
       let s = Prefix_set.diff (entry_set e) claimed in
-      let permitted =
-        match e.rm_action with
-        | Ast.Permit -> Prefix_set.union permitted s
-        | Ast.Deny -> permitted
-      in
-      go permitted (Prefix_set.union claimed s) rest
+      (match e.rm_action with
+       | Ast.Permit -> go (Prefix_set.union permitted s) (Prefix_set.union claimed s) rest
+       | Ast.Deny ->
+         if e.match_tags <> [] then go permitted claimed rest
+         else go permitted (Prefix_set.union claimed s) rest)
   in
   go Prefix_set.empty Prefix_set.empty rm.entries

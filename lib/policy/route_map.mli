@@ -35,5 +35,10 @@ val permitted_set :
   Prefix_set.t
 (** Addresses whose routes can pass the map ignoring tag matches (a
     conservative over-approximation when tag matches are present; exact
-    otherwise).  Unresolvable ACL references match nothing.  [diag]
-    receives warnings from {!Acl.permitted_set} on referenced ACLs. *)
+    otherwise).  A permit entry with a tag match contributes its prefixes
+    but claims nothing from later entries; a deny entry with a tag match
+    claims nothing at all — either way the result only ever grows, never
+    shrinks, relative to the exact semantics.  Unresolvable ACL
+    references match nothing.  [diag] receives a [route-map-tag-approx]
+    warning for every entry whose tag matches were ignored, plus warnings
+    from {!Acl.permitted_set} on referenced ACLs. *)

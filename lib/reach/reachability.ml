@@ -122,6 +122,40 @@ let advertised_of (g : Instance_graph.t) routes =
   |> List.sort (fun (_, _, k1) (_, _, k2) -> Int.compare k2 k1)
   |> List.map (fun (a, s, _) -> (a, s))
 
+(* [default-information originate]: the simulator injects a default route
+   into an IGP process whose router holds one from some other source (a
+   local static default, or another process's RIB at fixpoint).  The
+   static over-approximation of that condition: the router configures a
+   static default, or hosts any other routing process (which *may* hold a
+   default at fixpoint).  Seeded into the instance's route set — not its
+   origins, which drive host attachment and the internal space. *)
+let default_originations (g : Instance_graph.t) =
+  let catalog = g.catalog in
+  let insts = ref [] in
+  Array.iter
+    (fun (p : Process.t) ->
+      if p.ast.default_originate && p.protocol <> Rd_config.Ast.Bgp then begin
+        let cfg = snd catalog.topo.routers.(p.router) in
+        let has_static_default =
+          List.exists
+            (fun (s : Rd_config.Ast.static_route) -> Prefix.equal s.sr_dest Prefix.default)
+            cfg.statics
+        in
+        let has_other_proc = List.exists (fun pid -> pid <> p.pid) catalog.by_router.(p.router) in
+        if has_static_default || has_other_proc then
+          insts := g.assignment.of_process.(p.pid) :: !insts
+      end)
+    catalog.processes;
+  List.sort_uniq Int.compare !insts
+
+let seed_routes (g : Instance_graph.t) origins =
+  let routes = Array.map Fun.id origins in
+  let default = Prefix_set.of_prefix Prefix.default in
+  List.iter (fun i -> routes.(i) <- Prefix_set.union routes.(i) default) (default_originations g);
+  routes
+
+let initial_routes (g : Instance_graph.t) = seed_routes g (origins_bulk g)
+
 let fixpoint_site = "reach.fixpoint"
 
 let finish ?metrics ~stats0 g origins routes iterations =
@@ -157,7 +191,7 @@ let compute ?metrics ?faults ?(limits = Rd_util.Limits.default)
   let stats0 = Prefix_set.stats () in
   let origins = origins_bulk g in
   let n = Array.length origins in
-  let routes = Array.map Fun.id origins in
+  let routes = seed_routes g origins in
   let out_index = Array.make n [] in
   let external_in = ref [] in
   List.iter
@@ -231,7 +265,7 @@ let compute_rounds ?(limits = Rd_util.Limits.default)
     ?(external_offers = Prefix_set.full) (g : Instance_graph.t) =
   let stats0 = Prefix_set.stats () in
   let origins = origins_bulk g in
-  let routes = Array.map Fun.id origins in
+  let routes = seed_routes g origins in
   let changed = ref true in
   let iterations = ref 0 in
   while !changed do

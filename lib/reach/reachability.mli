@@ -62,6 +62,15 @@ val origins_bulk : Rd_routing.Instance_graph.t -> Prefix_set.t array
     graph (physical identity, per domain).  Treat the returned array as
     read-only — it is shared with later calls and with {!compute}. *)
 
+val initial_routes : Rd_routing.Instance_graph.t -> Prefix_set.t array
+(** The array both fixpoints start from: a fresh copy of
+    {!origins_bulk} with {!Rd_addr.Prefix.default} seeded into the
+    route set (never the origin set) of every instance whose process
+    has [default-information originate] backed by a static default or
+    another process on the router.  Safe to mutate — callers own the
+    copy.  Exposed so external reference implementations (the bench
+    baseline) start from the same semantics. *)
+
 val origin_of_instance : Rd_routing.Instance_graph.t -> int -> Prefix_set.t
 (** Connected subnets attached to an instance: subnets of interfaces
     covered by its member processes, plus connected/static redistribution

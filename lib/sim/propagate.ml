@@ -409,4 +409,14 @@ let instance_load t (assignment : Instance.assignment) inst_id =
     ( List.fold_left max 0 sizes,
       float_of_int (List.fold_left ( + ) 0 sizes) /. float_of_int (List.length sizes) )
 
+let prefix_set_of_process t pid = Rib.prefixes t.proc_ribs.(pid)
+
+let prefix_set_of_router t router = Rib.prefixes t.router_ribs.(router)
+
+let instance_prefix_set t (assignment : Instance.assignment) inst_id =
+  let inst = assignment.instances.(inst_id) in
+  List.fold_left
+    (fun acc pid -> Prefix_set.union acc (Rib.prefixes t.proc_ribs.(pid)))
+    Prefix_set.empty inst.members
+
 let forwards_to t ~router a = Rib.lookup t.router_ribs.(router) a

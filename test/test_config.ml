@@ -388,6 +388,22 @@ let test_anon_as_numbers () =
   check_bool "into public range" true (m >= 1 && m <= 64511);
   check_int "stable" m (Anonymizer.anonymize_as t 7018)
 
+let test_anon_as_injective () =
+  (* a few thousand distinct public ASNs must stay distinct — the PRF's
+     starting slots collide at birthday rates, and a collision merges two
+     external peers into one (caught by the cross-check on the seven
+     largest BGP study networks) *)
+  let t = Anonymizer.create ~key:"k" in
+  let seen = Hashtbl.create 4096 in
+  for n = 1 to 4000 do
+    let v = Anonymizer.anonymize_as t n in
+    check_bool "in range" true (v >= 1 && v <= 64511);
+    (match Hashtbl.find_opt seen v with
+     | Some prev -> Alcotest.failf "AS %d and AS %d both anonymize to %d" prev n v
+     | None -> Hashtbl.replace seen v n);
+    check_int "memoized" v (Anonymizer.anonymize_as t n)
+  done
+
 let test_anon_config_structure () =
   let t = Anonymizer.create ~key:"k" in
   let anon = Anonymizer.anonymize_config t figure2 in
@@ -624,6 +640,7 @@ let () =
           Alcotest.test_case "token hashing stable" `Quick test_anon_tokens_stable;
           Alcotest.test_case "prefix preservation" `Quick test_anon_prefix_preserving;
           Alcotest.test_case "AS number policy" `Quick test_anon_as_numbers;
+          Alcotest.test_case "AS mapping injective" `Quick test_anon_as_injective;
           Alcotest.test_case "structure preserved" `Quick test_anon_config_structure;
           Alcotest.test_case "subnet matching preserved" `Quick test_anon_subnet_matching_preserved;
           Alcotest.test_case "anonymize->parse round trip (archetypes)" `Quick

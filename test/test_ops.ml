@@ -5,6 +5,11 @@ let check_bool = Alcotest.(check bool)
 
 let analyze files = Rd_core.Analysis.analyze ~name:"t" files
 
+let contains_sub ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
 let has_category findings cat =
   List.exists (fun (f : Rd_core.Audit.finding) -> f.category = cat) findings
 
@@ -253,7 +258,34 @@ let test_whatif_noop () =
   let d = Rd_core.Whatif.run a [ Rd_core.Whatif.Remove_router "no-such-router" ] in
   check_int "nothing changed" 1 d.instances_after;
   check_int "no splits" 0 (List.length d.split_instances);
-  check_int "no lost pairs" 0 (List.length d.lost_reachability)
+  check_int "no lost pairs" 0 (List.length d.lost_reachability);
+  (* ... but the typo is surfaced, not swallowed *)
+  check_int "one warning" 1 (List.length d.warnings);
+  check_bool "warning names the target" true
+    (List.exists (fun w -> contains_sub ~needle:"no-such-router" w) d.warnings);
+  check_bool "render shows warning" true
+    (contains_sub ~needle:"WARNING" (Rd_core.Whatif.render d))
+
+let test_whatif_unknown_targets_warn () =
+  let a = analyze linear_net in
+  let _, warnings =
+    Rd_core.Whatif.apply_checked a
+      [
+        Rd_core.Whatif.Remove_router "glue";
+        Rd_core.Whatif.Remove_link (Rd_addr.Prefix.of_string_exn "192.0.2.0/30");
+        Rd_core.Whatif.Shutdown_interface ("a1", "Serial9/9");
+        Rd_core.Whatif.Shutdown_interface ("ghost", "Serial0/0");
+      ]
+  in
+  (* the matching change warns nothing; the three typos warn once each *)
+  check_int "three warnings" 3 (List.length warnings);
+  let has needle = List.exists (fun w -> contains_sub ~needle w) warnings in
+  check_bool "unknown subnet" true (has "192.0.2.0/30");
+  check_bool "unknown interface" true (has "Serial9/9");
+  check_bool "unknown router" true (has "ghost");
+  (* matched changes stay warning-free *)
+  let _, clean = Rd_core.Whatif.apply_checked a [ Rd_core.Whatif.Remove_router "glue" ] in
+  check_int "no warnings when matched" 0 (List.length clean)
 
 let test_whatif_redundant_link_harmless () =
   (* add a second link between a1 and b1: removing one keeps the instance whole *)
@@ -390,6 +422,7 @@ let () =
           Alcotest.test_case "remove link" `Quick test_whatif_remove_link;
           Alcotest.test_case "shutdown interface" `Quick test_whatif_shutdown_interface;
           Alcotest.test_case "unknown change is noop" `Quick test_whatif_noop;
+          Alcotest.test_case "unknown targets warn" `Quick test_whatif_unknown_targets_warn;
           Alcotest.test_case "leaf removal harmless" `Quick test_whatif_redundant_link_harmless;
         ] );
       ( "inventory",

@@ -344,6 +344,65 @@ let test_route_map_permitted_set () =
   check_bool "192.168 denied earlier" false (Prefix_set.mem (ip "192.168.1.1") s);
   check_bool "others out" false (Prefix_set.mem (ip "8.8.8.8") s)
 
+let mk_entry ?(acls = []) ?(tags = []) seq action =
+  {
+    Ast.seq;
+    rm_action = action;
+    match_acls = acls;
+    match_prefix_lists = [];
+    match_tags = tags;
+    set_tag = None;
+    set_metric = None;
+    set_local_pref = None;
+  }
+
+(* A deny entry that also matches on tag must claim nothing from the
+   prefix-set view: an untagged route falls through it to the permit
+   below, so excluding its prefixes would under-approximate.  This is
+   the sim⊆static containment bug the crosscheck oracle flags. *)
+let test_route_map_deny_tag_over_approx () =
+  let acls = [ mk_std "1" [ (Ast.Permit, "10.0.0.0/8") ] ] in
+  let rm =
+    {
+      Ast.rm_name = "m";
+      entries = [ mk_entry ~acls:[ "1" ] ~tags:[ 77 ] 10 Ast.Deny; mk_entry 20 Ast.Permit ];
+    }
+  in
+  let s = Rd_policy.Route_map.permitted_set rm ~lookup_acl:(lookup acls) () in
+  check_bool "deny+tag claims nothing" true (Prefix_set.mem (ip "10.1.2.3") s);
+  check_bool "still over-approximates" true (Prefix_set.is_full s);
+  (* an untagged deny still claims its set *)
+  let rm' =
+    {
+      Ast.rm_name = "m2";
+      entries = [ mk_entry ~acls:[ "1" ] 10 Ast.Deny; mk_entry 20 Ast.Permit ];
+    }
+  in
+  let s' = Rd_policy.Route_map.permitted_set rm' ~lookup_acl:(lookup acls) () in
+  check_bool "plain deny claims" false (Prefix_set.mem (ip "10.1.2.3") s')
+
+let test_route_map_tag_approx_diag () =
+  let acls = [ mk_std "1" [ (Ast.Permit, "10.0.0.0/8") ] ] in
+  let rm =
+    {
+      Ast.rm_name = "tagged";
+      entries =
+        [ mk_entry ~acls:[ "1" ] ~tags:[ 5 ] 10 Ast.Permit; mk_entry ~tags:[ 6 ] 20 Ast.Deny ];
+    }
+  in
+  let c = Diag.create ~file:"r1" () in
+  ignore (Rd_policy.Route_map.permitted_set ~diag:c rm ~lookup_acl:(lookup acls) ());
+  let diags =
+    List.filter (fun (d : Diag.t) -> d.code = "route-map-tag-approx") (Diag.to_list c)
+  in
+  check_int "one warning per tagged entry" 2 (List.length diags);
+  List.iter
+    (fun (d : Diag.t) -> check_bool "warning severity" true (d.severity = Diag.Warning))
+    diags;
+  (* no collector, no warnings — and the set is unchanged *)
+  let s = Rd_policy.Route_map.permitted_set rm ~lookup_acl:(lookup acls) () in
+  check_bool "10/8 permitted" true (Prefix_set.mem (ip "10.0.0.1") s)
+
 (* ---------------------------------------------------------- route_filter --- *)
 
 let test_route_filter () =
@@ -524,6 +583,9 @@ let () =
           Alcotest.test_case "tag matching" `Quick test_route_map_tag_match;
           Alcotest.test_case "fall-off denies" `Quick test_route_map_falloff_denies;
           Alcotest.test_case "permitted set" `Quick test_route_map_permitted_set;
+          Alcotest.test_case "deny+tag over-approximates" `Quick
+            test_route_map_deny_tag_over_approx;
+          Alcotest.test_case "tag-approx diag" `Quick test_route_map_tag_approx_diag;
         ] );
       ( "prefix_list",
         [

@@ -214,6 +214,92 @@ let test_fixpoint_terminates () =
   let r = Rd_reach.Reachability.compute a.graph in
   check_bool "few iterations" true (r.iterations < 30)
 
+let test_origins_bulk_shared () =
+  (* origins_bulk memoizes per graph and hands every caller the SAME
+     physical array — so the fixpoints must copy before seeding, never
+     mutate it in place.  Pin both halves of that contract. *)
+  let g = analyze filtered_pair in
+  let o1 = Rd_reach.Reachability.origins_bulk g in
+  let o2 = Rd_reach.Reachability.origins_bulk g in
+  check_bool "same physical array" true (o1 == o2);
+  let snapshot = Array.map Fun.id o1 in
+  let r = Rd_reach.Reachability.compute g in
+  let r' = Rd_reach.Reachability.compute_rounds g in
+  Array.iteri
+    (fun i s ->
+      check_bool (Printf.sprintf "compute left origins[%d] alone" i) true
+        (Prefix_set.equal s o1.(i)))
+    snapshot;
+  (* a caller mutating its own shallow copy must not leak into the cache *)
+  let copy = Array.map Fun.id o1 in
+  copy.(0) <- Prefix_set.empty;
+  check_bool "cache unaffected by caller copy" true
+    (Prefix_set.equal snapshot.(0) (Rd_reach.Reachability.origins_bulk g).(0));
+  Array.iteri
+    (fun i s ->
+      check_bool (Printf.sprintf "rounds agree on routes[%d]" i) true
+        (Prefix_set.equal s r'.routes.(i)))
+    r.routes
+
+let default_originate_net =
+  [
+    ( "border",
+      cfg
+        {|interface Serial0/0
+ ip address 10.0.0.1 255.255.255.252
+!
+interface Serial0/1
+ ip address 192.0.2.1 255.255.255.252
+!
+router ospf 1
+ network 10.0.0.0 0.0.0.3 area 0
+ default-information originate
+!
+ip route 0.0.0.0 0.0.0.0 192.0.2.2
+|} );
+    ( "inner",
+      cfg
+        {|interface Serial0/0
+ ip address 10.0.0.2 255.255.255.252
+!
+router ospf 1
+ network 10.0.0.0 0.0.0.3 area 0
+|} );
+  ]
+
+let test_default_originate_seeded () =
+  (* default-information originate backed by a static default must show up
+     in the static route sets (the simulator injects 0/0 there, and the
+     cross-check oracle needs sim ⊆ static) — but never in the ORIGIN
+     sets, which drive instance_of_addr / internal-space attribution. *)
+  let g = analyze default_originate_net in
+  let r = Rd_reach.Reachability.compute g in
+  let inst = g.assignment.of_process.(0) in
+  check_bool "routes hold the default" true (Prefix_set.mem (ip "8.8.8.8") r.routes.(inst));
+  check_bool "origins do not" false (Prefix_set.mem (ip "8.8.8.8") r.origins.(inst));
+  let r2 = Rd_reach.Reachability.compute_rounds g in
+  check_bool "rounds seed identically" true
+    (Prefix_set.equal r.routes.(inst) r2.routes.(inst));
+  (* without the knob nothing is seeded *)
+  let stripped =
+    List.map
+      (fun (n, (c : Rd_config.Ast.t)) ->
+        ( n,
+          {
+            c with
+            Rd_config.Ast.processes =
+              List.map
+                (fun (p : Rd_config.Ast.router_process) ->
+                  { p with Rd_config.Ast.default_originate = false })
+                c.processes;
+          } ))
+      default_originate_net
+  in
+  let g2 = analyze stripped in
+  let r3 = Rd_reach.Reachability.compute g2 in
+  check_bool "no knob, no default" false
+    (Prefix_set.mem (ip "8.8.8.8") r3.routes.(g2.assignment.of_process.(0)))
+
 (* The worklist fixpoint must land on exactly the same least fixpoint as
    the legacy whole-edge-list sweep it replaced — checked field by field
    (routes, origins, advertised incl. order, internal space) over every
@@ -321,6 +407,10 @@ let () =
           Alcotest.test_case "restricted offers" `Quick test_restricted_offers;
           Alcotest.test_case "net15 end to end" `Quick test_net15_full;
           Alcotest.test_case "fixpoint terminates" `Quick test_fixpoint_terminates;
+          Alcotest.test_case "origins_bulk is shared and never mutated" `Quick
+            test_origins_bulk_shared;
+          Alcotest.test_case "default-originate seeds routes not origins" `Quick
+            test_default_originate_seeded;
           Alcotest.test_case "worklist = rounds on 31-network study" `Slow
             test_worklist_matches_rounds_study;
         ] );

@@ -203,6 +203,22 @@ let test_propagate_loads () =
   check_int "two processes" 2 (List.length loads);
   List.iter (fun (_, sz) -> check_bool "nonzero" true (sz > 0)) loads
 
+let test_instance_load_no_members () =
+  (* an instance id owning no process must yield (0, 0.) — not a NaN mean
+     from a 0/0 division *)
+  let sim = run small_net in
+  let topo = Rd_topo.Topology.build small_net in
+  let catalog = Rd_routing.Process.build topo in
+  let assignment = (Rd_routing.Instance_graph.build catalog).assignment in
+  let phantom = Array.length assignment.instances in
+  let max_sz, mean = Rd_sim.Propagate.instance_load sim assignment phantom in
+  check_int "max" 0 max_sz;
+  check_bool "mean is exactly zero" true (mean = 0.0);
+  check_bool "mean is not NaN" false (Float.is_nan mean);
+  (* a real instance still reports its load *)
+  let real_max, real_mean = Rd_sim.Propagate.instance_load sim assignment 0 in
+  check_bool "real instance nonzero" true (real_max > 0 && real_mean > 0.)
+
 (* ---------------------------------------------------- bgp semantics ----- *)
 
 (* Three routers in AS 100 chained by IBGP sessions a--b--c (no mesh, no
@@ -678,6 +694,8 @@ let () =
           Alcotest.test_case "connected preferred" `Quick test_propagate_connected_preferred;
           Alcotest.test_case "external injection" `Quick test_propagate_external_injection;
           Alcotest.test_case "loads" `Quick test_propagate_loads;
+          Alcotest.test_case "instance load without members" `Quick
+            test_instance_load_no_members;
         ] );
       ( "bgp semantics",
         [
