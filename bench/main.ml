@@ -32,6 +32,8 @@ let metrics_flag = ref false
 let metrics_json_path = ref ""
 let only_reach = ref false
 let reach_json_path = ref ""
+let only_whatif = ref false
+let whatif_json_path = ref ""
 
 let () =
   Arg.parse
@@ -48,9 +50,13 @@ let () =
        " run only the reachability/prefix-set kernel bench (skip experiments and bechamel)");
       ("--reach-json", Arg.Set_string reach_json_path,
        "FILE  write the reachability/prefix-set kernel bench results as JSON to FILE");
+      ("--only-whatif", Arg.Set only_whatif,
+       " run only the cold-vs-warm what-if sweep bench (skip experiments and bechamel)");
+      ("--whatif-json", Arg.Set_string whatif_json_path,
+       "FILE  write the what-if sweep bench results as JSON to FILE");
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument: " ^ a)))
-    "bench [-j N] [--json FILE] [--trace FILE] [--metrics] [--metrics-json FILE] [--only-reach] [--reach-json FILE]"
+    "bench [-j N] [--json FILE] [--trace FILE] [--metrics] [--metrics-json FILE] [--only-reach] [--reach-json FILE] [--only-whatif] [--whatif-json FILE]"
 
 (* ------------------------------------------------------------- part 1 --- *)
 
@@ -455,6 +461,122 @@ let run_reach_bench nets =
     Printf.printf "reach bench json written to %s\n" !reach_json_path
   end
 
+(* ------------------------------------------------ what-if sweep bench --- *)
+
+(* Cold vs warm what-if evaluation over the study population.
+
+   Cold is the pre-engine cost of one scenario: parse and analyze the
+   base network, run its baseline fixpoint, re-analyze with the change,
+   run the scenario fixpoint — for every scenario, from scratch.
+
+   The incremental pass evaluates the same scenarios through one shared
+   [Rd_core.Engine]: the base parse/analysis/baseline fixpoint are
+   computed once per network and probed thereafter, and each scenario's
+   reachability is a delta restart seeded with the baseline solution.
+
+   The warm pass repeats the sweep against the now-populated engine —
+   the steady state of an operator iterating on a maintenance plan —
+   where every artifact is a content-addressed probe.
+
+   All three must render byte-identical diffs; a divergence fails the
+   bench (this is the bench-level twin of the equivalence tests in
+   test/test_reach.ml and test/test_ops.ml). *)
+let run_whatif_bench nets =
+  section "What-if sweeps: cold re-analysis vs incremental engine";
+  let inputs =
+    List.map
+      (fun (n : Rd_study.Population.network) ->
+        ( n,
+          Rd_study.Population.generate_one n.spec,
+          Rd_study.Experiments.default_scenarios n ))
+      nets
+  in
+  let scenario_count =
+    List.fold_left (fun acc (_, _, s) -> acc + List.length s) 0 inputs
+  in
+  Gc.compact ();
+  let cold_results, cold_s =
+    time (fun () ->
+        List.map
+          (fun ((n : Rd_study.Population.network), files, scenarios) ->
+            List.map
+              (fun (s : Rd_core.Whatif.scenario) ->
+                let a = Rd_core.Analysis.analyze ~name:n.spec.label files in
+                Rd_core.Whatif.render (Rd_core.Whatif.run a s.changes))
+              scenarios)
+          inputs)
+  in
+  let metrics = Rd_util.Metrics.create () in
+  let engine = Rd_core.Engine.create ~metrics () in
+  let run_engine () =
+    List.map
+      (fun ((n : Rd_study.Population.network), files, scenarios) ->
+        let net = Rd_core.Engine.load engine ~name:n.spec.label files in
+        List.map
+          (fun (o : Rd_core.Engine.outcome) -> Rd_core.Whatif.render o.diff)
+          (Rd_core.Engine.run_scenarios engine net scenarios))
+      inputs
+  in
+  Gc.compact ();
+  let incr_results, incr_s = time run_engine in
+  Gc.compact ();
+  let warm_results, warm_s = time run_engine in
+  if incr_results <> cold_results then
+    failwith "incremental what-if sweep diverged from cold re-analysis";
+  if warm_results <> cold_results then
+    failwith "warm what-if sweep diverged from cold re-analysis";
+  Printf.printf "workload: %d scenarios over %d study networks, every diff rendered\n"
+    scenario_count (List.length nets);
+  Rd_util.Table.print
+    ~headers:[ "sweep"; "scenarios"; "wall (s)"; "speedup" ]
+    ~aligns:[ Rd_util.Table.Left; Rd_util.Table.Right; Rd_util.Table.Right; Rd_util.Table.Right ]
+    [
+      [ "cold (full re-analysis per scenario)"; string_of_int scenario_count;
+        Printf.sprintf "%.3f" cold_s; "1.00x" ];
+      [ "incremental (first engine pass)"; string_of_int scenario_count;
+        Printf.sprintf "%.3f" incr_s; Printf.sprintf "%.2fx" (cold_s /. incr_s) ];
+      [ "warm (repeat sweep, engine populated)"; string_of_int scenario_count;
+        Printf.sprintf "%.3f" warm_s; Printf.sprintf "%.2fx" (cold_s /. warm_s) ];
+    ];
+  Printf.printf "diffs byte-identical across all three sweeps: true\n";
+  let cache_stats = Rd_core.Engine.stats engine in
+  List.iter
+    (fun (name, (s : Rd_util.Cache.stats)) ->
+      Printf.printf "cache.%s: %d hits, %d misses, %d evictions\n" name s.hits s.misses
+        s.evictions)
+    cache_stats;
+  if cold_s /. warm_s < 5.0 then
+    Printf.printf "WARNING: warm what-if speedup below the 5x target\n";
+  if !whatif_json_path <> "" then begin
+    Rd_util.Json.to_file !whatif_json_path
+      (Rd_util.Json.Obj
+         [
+           ("seed", Rd_util.Json.Int master_seed);
+           ("networks", Rd_util.Json.Int (List.length nets));
+           ("scenarios", Rd_util.Json.Int scenario_count);
+           ("cold_s", Rd_util.Json.Float cold_s);
+           ("incremental_s", Rd_util.Json.Float incr_s);
+           ("warm_s", Rd_util.Json.Float warm_s);
+           ("speedup_incremental_vs_cold", Rd_util.Json.Float (cold_s /. incr_s));
+           ("speedup_warm_vs_cold", Rd_util.Json.Float (cold_s /. warm_s));
+           ("identical", Rd_util.Json.Bool true);
+           ( "cache",
+             Rd_util.Json.Obj
+               (List.map
+                  (fun (name, (s : Rd_util.Cache.stats)) ->
+                    ( name,
+                      Rd_util.Json.Obj
+                        [
+                          ("hits", Rd_util.Json.Int s.hits);
+                          ("misses", Rd_util.Json.Int s.misses);
+                          ("evictions", Rd_util.Json.Int s.evictions);
+                          ("invalidations", Rd_util.Json.Int s.invalidations);
+                        ] ))
+                  cache_stats) );
+         ]);
+    Printf.printf "whatif bench json written to %s\n" !whatif_json_path
+  end
+
 (* ------------------------------------------------------------- part 2 --- *)
 
 open Bechamel
@@ -551,17 +673,19 @@ let run_benchmarks () =
     ~aligns:[ Rd_util.Table.Left; Rd_util.Table.Right ]
     rows
 
+let build_population_only () =
+  let jobs = max 1 !jobs in
+  Printf.printf "building the 31-network study population (seed %d, %d jobs)...\n%!"
+    master_seed jobs;
+  Rd_study.Population.build ~jobs ~master_seed ()
+
 let () =
-  if !only_reach then begin
-    let jobs = max 1 !jobs in
-    Printf.printf "building the 31-network study population (seed %d, %d jobs)...\n%!"
-      master_seed jobs;
-    let nets = Rd_study.Population.build ~jobs ~master_seed () in
-    run_reach_bench nets
-  end
+  if !only_reach then run_reach_bench (build_population_only ())
+  else if !only_whatif then run_whatif_bench (build_population_only ())
   else begin
     let nets = run_experiments () in
     run_reach_bench nets;
+    run_whatif_bench nets;
     run_benchmarks ()
   end;
   print_newline ()

@@ -295,16 +295,194 @@ let inventory_cmd =
 (* --- whatif ------------------------------------------------------------- *)
 
 let whatif_cmd =
-  let run dir remove_routers remove_links =
+  let module J = Rd_util.Json in
+  let outcome_json (o : Rd_core.Engine.outcome) =
+    J.Obj
+      [
+        ("label", J.String o.scenario.label);
+        ( "changes",
+          J.List
+            (List.map
+               (fun c -> J.String (Rd_core.Whatif.change_to_string c))
+               o.scenario.changes) );
+        ("instances_before", J.Int o.diff.instances_before);
+        ("instances_after", J.Int o.diff.instances_after);
+        ("split_instances", J.Int (List.length o.diff.split_instances));
+        ("lost_pairs", J.Int (List.length o.diff.lost_reachability));
+        ("touched_files", J.List (List.map (fun f -> J.String f) o.touched));
+        ("warnings", J.List (List.map (fun w -> J.String w) o.diff.warnings));
+        ("seconds", J.Float o.seconds);
+      ]
+  in
+  let cache_json engine =
+    J.Obj
+      (List.map
+         (fun (name, (s : Rd_util.Cache.stats)) ->
+           ( name,
+             J.Obj
+               [
+                 ("hits", J.Int s.hits);
+                 ("misses", J.Int s.misses);
+                 ("evictions", J.Int s.evictions);
+                 ("invalidations", J.Int s.invalidations);
+               ] ))
+         (Rd_core.Engine.stats engine))
+  in
+  let outcome_row network (o : Rd_core.Engine.outcome) =
+    [
+      network;
+      o.scenario.label;
+      Printf.sprintf "%d->%d" o.diff.instances_before o.diff.instances_after;
+      string_of_int (List.length o.diff.split_instances);
+      string_of_int (List.length o.diff.lost_reachability);
+      string_of_int (List.length o.touched);
+      Printf.sprintf "%.3f" o.seconds;
+    ]
+  in
+  let render_table rows =
+    print_string
+      (Rd_util.Table.render
+         ~headers:
+           [ "network"; "scenario"; "instances"; "split"; "lost pairs"; "touched"; "seconds" ]
+         ~aligns:
+           Rd_util.Table.
+             [ Left; Left; Right; Right; Right; Right; Right ]
+         rows)
+  in
+  let run dir study seed only batch remove_routers remove_links shutdowns json metrics_flag
+      trace_file =
     guard @@ fun () ->
-    let changes =
-      List.map (fun r -> Rd_core.Whatif.Remove_router r) remove_routers
-      @ List.filter_map
-          (fun l -> Option.map (fun p -> Rd_core.Whatif.Remove_link p) (Rd_addr.Prefix.of_string l))
-          remove_links
+    let trace = if trace_file <> None then Some (Rd_util.Trace.create ()) else None in
+    let metrics = if metrics_flag then Some (Rd_util.Metrics.create ()) else None in
+    let finish () =
+      (match (trace, trace_file) with
+       | Some t, Some path ->
+         Rd_util.Trace.to_file t path;
+         Printf.eprintf "trace written to %s (%d spans)\n" path
+           (List.length (Rd_util.Trace.spans t))
+       | _ -> ());
+      match metrics with
+      | Some m ->
+        print_endline "--- metrics ---";
+        print_string (Rd_util.Metrics.render m)
+      | None -> ()
     in
-    if changes = [] then die ~code:"usage" "nothing to change (use --remove-router/--remove-link)"
-    else print_string (Rd_core.Whatif.render (Rd_core.Whatif.run (analyze_dir dir) changes))
+    let inline_changes =
+      List.map (fun r -> Rd_core.Whatif.Remove_router r) remove_routers
+      @ List.map
+          (fun l ->
+            match Rd_addr.Prefix.of_string l with
+            | Some p -> Rd_core.Whatif.Remove_link p
+            | None -> die ~code:"usage" "--remove-link %s: not a prefix (a.b.c.d/len)" l)
+          remove_links
+      @ List.map
+          (fun s ->
+            match String.index_opt s ':' with
+            | Some i when i > 0 && i < String.length s - 1 ->
+              Rd_core.Whatif.Shutdown_interface
+                (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+            | _ -> die ~code:"usage" "--shutdown-interface %s: expected ROUTER:IFACE" s)
+          shutdowns
+    in
+    match (dir, study) with
+    | Some _, true -> die ~code:"usage" "give either DIR or --study, not both"
+    | None, false -> die ~code:"usage" "give a DIR of configurations or --study"
+    | None, true ->
+      if inline_changes <> [] || batch <> None then
+        die ~code:"usage" "--study derives per-network scenarios; it excludes --batch and \
+                           inline change flags";
+      let only_opt = match only with [] -> None | ids -> Some ids in
+      let nets = Rd_study.Population.build ?only:only_opt ?metrics ?trace ~master_seed:seed () in
+      if json then begin
+        let engine = Rd_core.Engine.create ?metrics ?trace () in
+        let networks =
+          List.map
+            (fun (n : Rd_study.Population.network) ->
+              let net =
+                Rd_core.Engine.load engine ~name:n.spec.label
+                  (Rd_study.Population.generate_one n.spec)
+              in
+              let outcomes =
+                Rd_core.Engine.run_scenarios engine net
+                  (Rd_study.Experiments.default_scenarios n)
+              in
+              J.Obj
+                [
+                  ("network", J.String n.spec.label);
+                  ("scenarios", J.List (List.map outcome_json outcomes));
+                ])
+            nets
+        in
+        print_endline
+          (J.to_string (J.Obj [ ("networks", J.List networks); ("cache", cache_json engine) ]))
+      end
+      else print_string (Rd_study.Experiments.whatif_sweep ?metrics ?trace nets);
+      finish ()
+    | Some d, false ->
+      let name = Filename.basename d in
+      let files = load_dir d in
+      let scenarios =
+        match batch with
+        | Some path ->
+          if inline_changes <> [] then
+            die ~code:"usage" "--batch excludes inline change flags";
+          (match Rd_core.Whatif.parse_scenarios (read_file path) with
+           | Ok [] -> die ~code:"usage" "%s: no scenarios" path
+           | Ok s -> s
+           | Error e -> die ~code:"bad-scenario" "%s: %s" path e)
+        | None ->
+          if inline_changes = [] then
+            die ~code:"usage"
+              "nothing to change (use --remove-router/--remove-link/--shutdown-interface, \
+               or --batch FILE)"
+          else [ { Rd_core.Whatif.label = "cli"; changes = inline_changes } ]
+      in
+      let engine = Rd_core.Engine.create ?metrics ?trace () in
+      let net = Rd_core.Engine.load engine ~name files in
+      let outcomes = Rd_core.Engine.run_scenarios engine net scenarios in
+      (if json then
+         print_endline
+           (J.to_string
+              (J.Obj
+                 [
+                   ("network", J.String name);
+                   ("scenarios", J.List (List.map outcome_json outcomes));
+                   ("cache", cache_json engine);
+                 ]))
+       else
+         match (batch, outcomes) with
+         | None, [ o ] ->
+           (* single inline scenario: the classic detailed diff *)
+           print_string (Rd_core.Whatif.render o.diff)
+         | _ -> render_table (List.map (outcome_row name) outcomes));
+      finish ()
+  in
+  let dir_opt_arg =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"DIR" ~doc:"Directory of configuration files (omit with $(b,--study)).")
+  in
+  let study_arg =
+    Arg.(value & flag
+         & info [ "study" ]
+             ~doc:"Sweep derived maintenance scenarios over every network of the 31-network \
+                   study population through one shared incremental engine.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 2004 & info [ "seed" ] ~docv:"SEED" ~doc:"Master seed (with --study).")
+  in
+  let only_arg =
+    Arg.(value & opt (list int) []
+         & info [ "only" ] ~docv:"IDS" ~doc:"Comma-separated net ids (with --study).")
+  in
+  let batch_arg =
+    Arg.(value & opt (some string) None
+         & info [ "batch" ] ~docv:"SCENARIOS"
+             ~doc:"Run every scenario of $(docv) (one per line: \
+                   $(b,[LABEL:] CHANGE [; CHANGE]...) where a change is \
+                   $(b,remove-router NAME), $(b,remove-link A.B.C.D/LEN), or \
+                   $(b,shutdown-interface ROUTER IFACE); $(b,#) comments allowed) against \
+                   the one loaded network, reusing parsed state, the baseline reachability \
+                   fixpoint, and per-scenario artifacts between scenarios.")
   in
   let routers_arg =
     Arg.(value & opt_all string [] & info [ "remove-router" ] ~docv:"NAME" ~doc:"Take a router out of service.")
@@ -312,9 +490,38 @@ let whatif_cmd =
   let links_arg =
     Arg.(value & opt_all string [] & info [ "remove-link" ] ~docv:"SUBNET" ~doc:"Shut the link with this subnet (a.b.c.d/len).")
   in
+  let shutdown_arg =
+    Arg.(value & opt_all string []
+         & info [ "shutdown-interface" ] ~docv:"ROUTER:IFACE"
+             ~doc:"Administratively shut one interface (colon-separated because interface \
+                   names contain slashes, e.g. $(b,core1:Serial0/0)).")
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit per-scenario impact records and engine cache statistics as JSON \
+                   (what CI archives).")
+  in
+  let metrics_arg =
+    Arg.(value & flag
+         & info [ "metrics" ]
+             ~doc:"Collect cache hit/miss/eviction and fixpoint counters during the sweep \
+                   and print the registry snapshot as tables.")
+  in
+  let trace_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Write a Chrome trace_event JSON timeline (cache-miss spans included) to \
+                   $(docv).")
+  in
   Cmd.v
-    (Cmd.info "whatif" ~doc:"Model the effect of failures/maintenance on the design (paper §8.1).")
-    Term.(const run $ dir_arg $ routers_arg $ links_arg)
+    (Cmd.info "whatif"
+       ~doc:"Model the effect of failures/maintenance on the design (paper §8.1), \
+             incrementally: batch scenarios share one content-addressed engine, and each \
+             scenario's reachability restarts from the baseline fixpoint's dirtied frontier \
+             only.")
+    Term.(const run $ dir_opt_arg $ study_arg $ seed_arg $ only_arg $ batch_arg $ routers_arg
+          $ links_arg $ shutdown_arg $ json_arg $ metrics_arg $ trace_arg)
 
 (* --- crosscheck --------------------------------------------------------- *)
 

@@ -11,12 +11,14 @@ val of_int : int -> t
     otherwise. *)
 
 val to_int : t -> int
+(** The address as an integer in [\[0, 2^32)]. *)
 
 val of_octets : int -> int -> int -> int -> t
 (** [of_octets a b c d] = the address [a.b.c.d].  Each octet must be in
     [\[0,255\]]. *)
 
 val octets : t -> int * int * int * int
+(** The four octets, most significant first. *)
 
 val of_string : string -> t option
 (** Parse strict dotted-quad notation.  [None] on malformed input,
@@ -27,9 +29,13 @@ val of_string_exn : string -> t
 (** Like {!of_string} but raises [Invalid_argument]. *)
 
 val to_string : t -> string
+(** Dotted-quad notation. *)
 
 val compare : t -> t -> int
+(** Numeric (= address) order. *)
+
 val equal : t -> t -> bool
+(** Address equality. *)
 
 val succ : t -> t
 (** Next address, wrapping at the top of the space. *)
@@ -38,10 +44,13 @@ val add : t -> int -> t
 (** [add a n] offsets by [n], clipped into the address space by masking. *)
 
 val pp : Format.formatter -> t -> unit
+(** Prints dotted-quad notation. *)
 
 val is_private : t -> bool
 (** RFC 1918 space: 10/8, 172.16/12, 192.168/16. *)
 
 val zero : t
+(** 0.0.0.0 *)
+
 val broadcast_all : t
 (** 255.255.255.255 *)

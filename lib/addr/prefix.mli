@@ -11,22 +11,32 @@ val make : Ipv4.t -> int -> t
     ([0 <= len <= 32]). *)
 
 val addr : t -> Ipv4.t
+(** The (normalized) network address. *)
+
 val len : t -> int
+(** The mask length. *)
 
 val of_string : string -> t option
 (** Parse ["a.b.c.d/len"].  A bare address parses as a /32. *)
 
 val of_string_exn : string -> t
+(** Like {!of_string} but raises [Invalid_argument]. *)
 
 val of_addr_mask : Ipv4.t -> Ipv4.t -> t option
 (** [of_addr_mask addr netmask] for contiguous netmasks such as
     255.255.255.252; [None] if the mask is not contiguous. *)
 
 val to_string : t -> string
+(** ["a.b.c.d/len"] notation. *)
+
 val pp : Format.formatter -> t -> unit
+(** Prints {!to_string} notation. *)
 
 val compare : t -> t -> int
+(** Address order, then mask length (supernets before subnets). *)
+
 val equal : t -> t -> bool
+(** Same network address and length. *)
 
 val netmask : t -> Ipv4.t
 (** Contiguous netmask, e.g. /30 -> 255.255.255.252. *)
@@ -54,6 +64,7 @@ val subset : t -> t -> bool
 (** [subset a b]: every address of [a] is in [b]. *)
 
 val overlap : t -> t -> bool
+(** The prefixes share at least one address (one contains the other). *)
 
 val parent : t -> t option
 (** One bit shorter; [None] for /0. *)

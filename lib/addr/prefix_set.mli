@@ -21,25 +21,47 @@
     kernel against it on random sets. *)
 
 type t
+(** An immutable set of IPv4 addresses. *)
 
 val empty : t
+(** The empty set. *)
+
 val full : t
 (** The whole IPv4 space. *)
 
 val of_prefix : Prefix.t -> t
+(** All addresses covered by one prefix. *)
+
 val of_prefixes : Prefix.t list -> t
+(** Union of the given prefixes (overlaps are fine). *)
+
 val singleton : Ipv4.t -> t
+(** A single host address (a /32). *)
 
 val union : t -> t -> t
+(** Set union.  Memoized; returns an operand physically when the other
+    side adds nothing. *)
+
 val inter : t -> t -> t
+(** Set intersection.  Memoized. *)
+
 val diff : t -> t -> t
+(** [diff a b]: addresses in [a] but not [b].  Memoized. *)
+
 val complement : t -> t
+(** All addresses not in the set. *)
 
 val add : Prefix.t -> t -> t
+(** [add p s]: [union (of_prefix p) s]. *)
+
 val remove : Prefix.t -> t -> t
+(** [remove p s]: [diff s (of_prefix p)]. *)
 
 val is_empty : t -> bool
+(** O(1) thanks to canonicity: only the [Empty] node is empty. *)
+
 val is_full : t -> bool
+(** O(1): only the [Full] node covers the whole space. *)
 
 val equal : t -> t -> bool
 (** Semantic equality.  O(1) when hash-consing handed both sides the
@@ -54,10 +76,14 @@ val subset : t -> t -> bool
 (** [subset a b]: [a] ⊆ [b].  Memoized per operand pair. *)
 
 val mem : Ipv4.t -> t -> bool
+(** Single-address membership: one trie descent, no allocation. *)
+
 val mem_prefix : Prefix.t -> t -> bool
 (** Whole prefix covered. *)
 
 val overlaps : t -> t -> bool
+(** [overlaps a b]: the intersection is non-empty (without building
+    it when a shared subtree answers early). *)
 
 val to_prefixes : t -> Prefix.t list
 (** Minimal list of disjoint prefixes covering exactly the set, in address
@@ -93,3 +119,5 @@ val stats : unit -> stats
     the bench harness). *)
 
 val pp : Format.formatter -> t -> unit
+(** Prints the covering prefixes of {!to_prefixes}, comma-separated
+    ([<empty>]/[<full>] for the extremes). *)

@@ -7,13 +7,16 @@
 type 'a t
 
 val empty : 'a t
+(** The map with no bindings. *)
 
 val is_empty : 'a t -> bool
+(** No bindings at all. *)
 
 val add : Prefix.t -> 'a -> 'a t -> 'a t
 (** Bind a prefix, replacing any existing binding of the same prefix. *)
 
 val remove : Prefix.t -> 'a t -> 'a t
+(** Drop the exact binding of the prefix, if any. *)
 
 val find : Prefix.t -> 'a t -> 'a option
 (** Exact-prefix lookup. *)
@@ -34,9 +37,14 @@ val fold : (Prefix.t -> 'a -> 'b -> 'b) -> 'a t -> 'b -> 'b
 (** Fold over bindings in address order. *)
 
 val iter : (Prefix.t -> 'a -> unit) -> 'a t -> unit
+(** Iterate over bindings in address order. *)
 
 val bindings : 'a t -> (Prefix.t * 'a) list
+(** All bindings in address order. *)
 
 val cardinal : 'a t -> int
+(** Number of bindings. *)
 
 val update : Prefix.t -> ('a option -> 'a option) -> 'a t -> 'a t
+(** Rewrite one binding in place: the callback sees the current value
+    ([None] if unbound) and returns the new one ([None] removes). *)

@@ -12,9 +12,13 @@ val make : Ipv4.t -> Ipv4.t -> t
 (** [make base wild]; [base] is normalized so wildcard bits are zero. *)
 
 val base : t -> Ipv4.t
+(** The pattern bits (wildcarded positions forced to zero). *)
+
 val wild : t -> Ipv4.t
+(** The wildcard mask: 1-bits are don't-care positions. *)
 
 val matches : t -> Ipv4.t -> bool
+(** Address matches the pattern on every non-wildcarded bit. *)
 
 val matches_prefix : t -> Prefix.t -> bool
 (** [matches_prefix w p]: every address of [p] matches [w].  Exact for
@@ -44,10 +48,17 @@ val host : Ipv4.t -> t
 (** Matches exactly one address. *)
 
 val is_contiguous : t -> bool
+(** The wild bits form one low-order run — i.e. the wildcard is an
+    inverted netmask and {!to_prefix} succeeds. *)
 
 val to_string : t -> string
 (** ["base wild"] in Cisco config notation. *)
 
 val pp : Format.formatter -> t -> unit
+(** Prints {!to_string} notation. *)
+
 val equal : t -> t -> bool
+(** Same base and wildcard bits. *)
+
 val compare : t -> t -> int
+(** Total order (base, then wildcard). *)

@@ -27,49 +27,66 @@ let shutdown_iface (cfg : Ast.t) pred =
         cfg.interfaces;
   }
 
-(* Each change reports the targets it failed to match: a typoed router or
-   interface name must not silently turn a maintenance scenario into a
-   no-op that reports "no impact". *)
+(* Each change reports the targets it failed to match — a typoed router
+   or interface name must not silently turn a maintenance scenario into a
+   no-op that reports "no impact" — and the configuration files it did
+   touch, which is the dirty set the incremental reachability path
+   ([Rd_reach.Reachability.compute_delta]) restarts from. *)
 let apply_change_checked configs = function
   | Remove_router name ->
-    let kept = List.filter (fun rc -> not (matches_router rc name)) configs in
+    let kept, removed = List.partition (fun rc -> not (matches_router rc name)) configs in
     let warnings =
-      if List.length kept = List.length configs then
-        [ Printf.sprintf "remove-router: no router named %S" name ]
+      if removed = [] then [ Printf.sprintf "remove-router: no router named %S" name ]
       else []
     in
-    (kept, warnings)
+    (kept, warnings, List.map fst removed)
   | Remove_link subnet ->
-    let hit = ref false in
     let on_link (i : Ast.interface) =
       match i.Ast.if_address with
       | Some (a, m) -> (
         match Prefix.of_addr_mask a m with
-        | Some p ->
-          let matched = Prefix.equal p subnet in
-          if matched then hit := true;
-          matched
+        | Some p -> Prefix.equal p subnet
         | None -> false)
       | None -> false
     in
-    let configs = List.map (fun (file, cfg) -> (file, shutdown_iface cfg on_link)) configs in
+    let touched = ref [] in
+    let configs =
+      List.map
+        (fun (file, cfg) ->
+          let matched = ref false in
+          let cfg' =
+            shutdown_iface cfg (fun i ->
+                let m = on_link i in
+                if m then matched := true;
+                m)
+          in
+          if !matched then touched := file :: !touched;
+          (file, cfg'))
+        configs
+    in
     let warnings =
-      if !hit then []
+      if !touched <> [] then []
       else [ Printf.sprintf "remove-link: no interface on subnet %s" (Prefix.to_string subnet) ]
     in
-    (configs, warnings)
+    (configs, warnings, List.rev !touched)
   | Shutdown_interface (router, ifname) ->
     let router_hit = ref false and iface_hit = ref false in
+    let touched = ref [] in
     let configs =
       List.map
         (fun ((file, cfg) as rc) ->
           if matches_router rc router then begin
             router_hit := true;
-            ( file,
+            let cfg' =
               shutdown_iface cfg (fun i ->
                   let matched = i.Ast.if_name = ifname in
-                  if matched then iface_hit := true;
-                  matched) )
+                  if matched then begin
+                    iface_hit := true;
+                    touched := file :: !touched
+                  end;
+                  matched)
+            in
+            (file, cfg')
           end
           else rc)
         configs
@@ -81,19 +98,105 @@ let apply_change_checked configs = function
         [ Printf.sprintf "shutdown-interface: router %S has no interface %S" router ifname ]
       else []
     in
-    (configs, warnings)
+    (configs, warnings, List.rev !touched)
+
+type delta = { analysis : Analysis.t; touched : string list; warnings : string list }
+
+let apply_delta (t : Analysis.t) changes =
+  let configs, warnings, touched =
+    List.fold_left
+      (fun (configs, warnings, touched) change ->
+        let configs, w, files = apply_change_checked configs change in
+        (configs, warnings @ w, touched @ files))
+      (t.configs, [], []) changes
+  in
+  {
+    analysis = Analysis.analyze_asts ~name:(t.name ^ "+whatif") configs;
+    touched = List.sort_uniq String.compare touched;
+    warnings;
+  }
 
 let apply_checked (t : Analysis.t) changes =
-  let configs, warnings =
-    List.fold_left
-      (fun (configs, warnings) change ->
-        let configs, w = apply_change_checked configs change in
-        (configs, warnings @ w))
-      (t.configs, []) changes
-  in
-  (Analysis.analyze_asts ~name:(t.name ^ "+whatif") configs, warnings)
+  let d = apply_delta t changes in
+  (d.analysis, d.warnings)
 
 let apply (t : Analysis.t) changes = fst (apply_checked t changes)
+
+(* --- scenarios ---------------------------------------------------------- *)
+
+type scenario = { label : string; changes : change list }
+
+let change_to_string = function
+  | Remove_router r -> "remove-router " ^ r
+  | Remove_link p -> "remove-link " ^ Prefix.to_string p
+  | Shutdown_interface (r, i) -> Printf.sprintf "shutdown-interface %s %s" r i
+
+let scenario_to_string s = String.concat "; " (List.map change_to_string s.changes)
+
+let tokens s =
+  String.split_on_char ' ' (String.map (function '\t' -> ' ' | c -> c) s)
+  |> List.filter (fun t -> t <> "")
+
+let parse_change s =
+  match tokens s with
+  | [ "remove-router"; name ] -> Ok (Remove_router name)
+  | [ "remove-link"; subnet ] -> (
+    match Prefix.of_string subnet with
+    | Some p -> Ok (Remove_link p)
+    | None -> Error (Printf.sprintf "%s: not a prefix (a.b.c.d/len)" subnet))
+  | [ "shutdown-interface"; router; ifname ] -> Ok (Shutdown_interface (router, ifname))
+  | [] -> Error "empty change"
+  | verb :: _ ->
+    Error
+      (Printf.sprintf
+         "%s: unknown or malformed change (expected: remove-router NAME | remove-link \
+          A.B.C.D/LEN | shutdown-interface ROUTER IFACE)"
+         verb)
+
+let parse_scenario ?default_label line =
+  let line = String.trim line in
+  let label, body =
+    match tokens line with
+    | first :: _
+      when String.length first > 1 && first.[String.length first - 1] = ':' -> (
+      let l = String.sub first 0 (String.length first - 1) in
+      let i = String.index line ':' in
+      (Some l, String.sub line (i + 1) (String.length line - i - 1)))
+    | _ -> (None, line)
+  in
+  let rec changes acc = function
+    | [] -> Ok (List.rev acc)
+    | c :: rest -> (
+      match parse_change c with Ok ch -> changes (ch :: acc) rest | Error e -> Error e)
+  in
+  match changes [] (String.split_on_char ';' body |> List.map String.trim
+                    |> List.filter (fun c -> c <> ""))
+  with
+  | Error e -> Error e
+  | Ok [] -> Error "scenario has no changes"
+  | Ok chs ->
+    let label =
+      match (label, default_label) with
+      | Some l, _ -> l
+      | None, Some l -> l
+      | None, None -> String.concat "; " (List.map change_to_string chs)
+    in
+    Ok { label; changes = chs }
+
+let parse_scenarios text =
+  let lines = String.split_on_char '\n' text in
+  let rec go k acc lineno = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+      let t = String.trim line in
+      if t = "" || t.[0] = '#' then go k acc (lineno + 1) rest
+      else begin
+        match parse_scenario ~default_label:(Printf.sprintf "s%d" k) line with
+        | Ok s -> go (k + 1) (s :: acc) (lineno + 1) rest
+        | Error e -> Error (Printf.sprintf "line %d: %s" lineno e)
+      end
+  in
+  go 1 [] 1 lines
 
 let sample_hosts (r : Rd_reach.Reachability.t) =
   (* one representative host per origin prefix, capped for tractability *)
@@ -102,7 +205,8 @@ let sample_hosts (r : Rd_reach.Reachability.t) =
   |> List.filteri (fun i _ -> i < 24)
   |> List.map (fun p -> Prefix.nth p (Prefix.size p / 2))
 
-let compare ?(warnings = []) ~(before : Analysis.t) ~(after : Analysis.t) () =
+let compare ?(warnings = []) ?reach_before ?reach_after ~(before : Analysis.t)
+    ~(after : Analysis.t) () =
   (* map a process to its instance in the new analysis by (router name,
      protocol, proc id) identity *)
   let key (a : Analysis.t) (p : Rd_routing.Process.t) =
@@ -132,8 +236,16 @@ let compare ?(warnings = []) ~(before : Analysis.t) ~(after : Analysis.t) () =
      with the default full external offer the unknown outside world would
      mask every loss.  Compare both sides with an empty offer so only
      internal reachability is scored. *)
-  let rb = Rd_reach.Reachability.compute ~external_offers:Prefix_set.empty before.graph in
-  let ra = Rd_reach.Reachability.compute ~external_offers:Prefix_set.empty after.graph in
+  let rb =
+    match reach_before with
+    | Some r -> r
+    | None -> Rd_reach.Reachability.compute ~external_offers:Prefix_set.empty before.graph
+  in
+  let ra =
+    match reach_after with
+    | Some r -> r
+    | None -> Rd_reach.Reachability.compute ~external_offers:Prefix_set.empty after.graph
+  in
   let hosts = sample_hosts rb in
   let lost =
     List.concat_map
@@ -163,7 +275,7 @@ let run t changes =
   let after, warnings = apply_checked t changes in
   compare ~warnings ~before:t ~after ()
 
-let render d =
+let render (d : diff) =
   let buf = Buffer.create 512 in
   List.iter (fun w -> Printf.bprintf buf "WARNING: %s\n" w) d.warnings;
   Printf.bprintf buf "routing instances: %d -> %d\n" d.instances_before d.instances_after;

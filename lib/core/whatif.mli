@@ -27,6 +27,17 @@ type diff = {
           a typoed maintenance scenario must not report "no impact". *)
 }
 
+type delta = {
+  analysis : Analysis.t;  (** the re-analyzed network. *)
+  touched : string list;
+      (** configuration file names a change actually modified or removed,
+          sorted and deduplicated — the dirty set an incremental
+          reachability restart ({!Rd_reach.Reachability.compute_delta})
+          grows its frontier from. *)
+  warnings : string list;
+      (** one warning per change target that matched nothing. *)
+}
+
 val apply : Analysis.t -> change list -> Analysis.t
 (** Re-analyze the network with the changes applied.  Unknown router or
     interface names are skipped; use {!apply_checked} to observe them. *)
@@ -35,11 +46,61 @@ val apply_checked : Analysis.t -> change list -> Analysis.t * string list
 (** Like {!apply}, also returning one warning per change target that
     matched no router, interface, or link subnet. *)
 
+val apply_delta : Analysis.t -> change list -> delta
+(** Like {!apply_checked}, additionally reporting which configuration
+    files were touched.  The other two are wrappers around this. *)
+
+(** {2 Scenarios}
+
+    A {e scenario} is a named batch of changes — one line of a what-if
+    sweep file as consumed by [rdna whatif --batch].  The line grammar is
+
+    {v [LABEL:] CHANGE [; CHANGE]... v}
+
+    where each change is [remove-router NAME], [remove-link A.B.C.D/LEN],
+    or [shutdown-interface ROUTER IFACE]; blank lines and [#] comments
+    are skipped. *)
+
+type scenario = { label : string; changes : change list }
+
+val change_to_string : change -> string
+(** Render a change back into its scenario-grammar form (the inverse of
+    {!parse_change}). *)
+
+val scenario_to_string : scenario -> string
+(** The scenario's changes in grammar form, [;]-separated (the label is
+    not included). *)
+
+val parse_change : string -> (change, string) result
+(** Parse one whitespace-tokenized change. *)
+
+val parse_scenario : ?default_label:string -> string -> (scenario, string) result
+(** Parse one scenario line.  A first token ending in [:] is the label;
+    otherwise [default_label] (or, failing that, the rendered changes)
+    names the scenario.  A line with no changes is an error. *)
+
+val parse_scenarios : string -> (scenario list, string) result
+(** Parse a whole sweep file.  Unlabelled scenarios are named [s1],
+    [s2], ... in file order; errors are prefixed with their 1-based line
+    number. *)
+
 val compare :
-  ?warnings:string list -> before:Analysis.t -> after:Analysis.t -> unit -> diff
+  ?warnings:string list ->
+  ?reach_before:Rd_reach.Reachability.t ->
+  ?reach_after:Rd_reach.Reachability.t ->
+  before:Analysis.t -> after:Analysis.t -> unit -> diff
 (** Structural and reachability diff (reachability is sampled over the
     instances' origin sets).  [warnings] (from {!apply_checked}) is
-    carried onto the diff. *)
+    carried onto the diff.
+
+    Both sides are scored with an {e empty} external offer — interfaces
+    whose peer was removed look external-facing afterwards, and the
+    default full offer would mask every loss behind the unknown outside
+    world.  [reach_before]/[reach_after] let a caller supply
+    already-computed solutions (the incremental engine passes its cached
+    baseline and a {!Rd_reach.Reachability.compute_delta} result); they
+    must have been computed with empty external offers over the
+    corresponding graphs, or the loss sampling is meaningless. *)
 
 val run : Analysis.t -> change list -> diff
 (** [apply] + [compare]. *)

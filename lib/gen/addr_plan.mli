@@ -16,6 +16,7 @@ val create : Prefix.t -> t
     point-to-point /30s in the third quarter, loopbacks in the fourth. *)
 
 val block : t -> Prefix.t
+(** The block the plan allocates from. *)
 
 val alloc : t -> int -> Prefix.t
 (** [alloc t len] — next aligned /[len] from the general region.  Raises

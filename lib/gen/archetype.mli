@@ -12,6 +12,7 @@ type t =
   | Igp_only  (** single-IGP network without BGP. *)
 
 val to_string : t -> string
+(** Kebab-case archetype name as accepted by [rdna generate]. *)
 
 val generate :
   t -> seed:int -> n:int -> ?use_bgp:bool -> ?use_filters:bool -> index:int -> unit -> Builder.net

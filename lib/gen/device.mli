@@ -4,11 +4,13 @@ open Rd_addr
 open Rd_config
 
 type t
+(** Mutable builder for one router's configuration. *)
 
 val create : string -> t
 (** [create hostname]. *)
 
 val name : t -> string
+(** The hostname given to {!create}. *)
 
 val add_interface :
   t ->
@@ -31,13 +33,23 @@ val update_process :
     if absent. *)
 
 val add_acl : t -> Ast.acl -> unit
+(** Register an access list (replaces any previous ACL of the same
+    name). *)
+
 val add_route_map : t -> Ast.route_map -> unit
+(** Register a route map. *)
+
 val add_prefix_list : t -> Ast.prefix_list -> unit
+(** Register a prefix list. *)
+
 val add_static : t -> Ast.static_route -> unit
+(** Append an [ip route] statement. *)
 
 val interface_count : t -> int
+(** Number of interfaces added so far. *)
 
 val last_interface_name : t -> string option
 (** Name of the most recently added interface. *)
 
 val to_ast : t -> Ast.t
+(** Snapshot the device as a configuration AST. *)

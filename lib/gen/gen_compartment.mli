@@ -27,6 +27,7 @@ type params = {
 }
 
 val generate : params -> Builder.net
+(** Build the network from the parameters (deterministic in the seed). *)
 
 val net5_params : seed:int -> params
 (** The parameters reproducing the paper's net5: 881 routers, 10 EIGRP

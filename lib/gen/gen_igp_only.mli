@@ -11,3 +11,4 @@ type params = {
 }
 
 val generate : params -> Builder.net
+(** Build the network from the parameters (deterministic in the seed). *)

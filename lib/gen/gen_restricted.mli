@@ -29,9 +29,11 @@ type params = {
 }
 
 val generate : params -> Builder.net
+(** Build the network from the parameters (deterministic in the seed). *)
 
 val net15_params : seed:int -> params
 (** 79 routers (39 left + 40 right), 6 instances, public ASs 25286 and
     12762, the Table 2 policy contents. *)
 
 val default_layout : layout
+(** The net15-shaped layout (paper §6.2). *)

@@ -44,6 +44,7 @@ val permitted_set : ?diag:Diag.collector -> Ast.acl -> Prefix_set.t
     the memo so warnings are reported on every explicit request. *)
 
 val clause_count : Ast.acl -> int
+(** Number of clauses (the paper's 47-clause filters, Fig 11 input). *)
 
 val matches_any : Ast.acl_clause -> bool
 (** Whether the clause is a catch-all (source [any]). *)

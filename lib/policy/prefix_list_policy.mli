@@ -10,8 +10,11 @@ open Rd_addr
 open Rd_config
 
 val entry_matches : Ast.prefix_list_entry -> Prefix.t -> bool
+(** One entry against one route, per the grammar above (ignoring the
+    entry's permit/deny action). *)
 
 val eval : Ast.prefix_list -> Prefix.t -> Ast.action
+(** First matching entry's action; [Deny] when nothing matches. *)
 
 val permitted_set : Ast.prefix_list -> Prefix_set.t
 (** Address-space over-approximation used by instance-level reachability:

@@ -22,6 +22,10 @@ type t = {
   internal : Prefix_set.t;
       (** union of every instance's origins, computed once at
           construction (see {!internal_space}). *)
+  external_offers : Prefix_set.t;
+      (** the external offer this solution was computed under — recorded
+          so {!compute_delta} can tell whether a previous solution is
+          reusable. *)
 }
 
 val compute :
@@ -57,6 +61,35 @@ val compute_rounds :
     nothing.  Retained as executable reference semantics for {!compute}
     (regression tests, bench baseline); prefer {!compute}. *)
 
+val compute_delta :
+  ?metrics:Rd_util.Metrics.t -> ?faults:Rd_util.Fault.t -> ?limits:Rd_util.Limits.t ->
+  ?external_offers:Prefix_set.t -> previous:t -> Rd_routing.Instance_graph.t -> t
+(** Incremental fixpoint: recompute reachability for a new build of the
+    network (typically after a what-if configuration delta), restarting the worklist from only the {e dirtied} frontier
+    instead of from scratch — the abstract-interpretation restart
+    strategy of Komondoor et al.'s packet-flow analysis.
+
+    An instance of the new graph {e carries over} its route set from
+    [previous] when its fixpoint equation is provably unchanged: its
+    member processes (identified by router file name, protocol, and
+    configured process id), its seeded origin set, and its in-edge
+    multiset (source endpoints and admitted sets) are identical, and —
+    closing under predecessors — every instance it hears routes from is
+    itself carried over.  All remaining instances restart from their
+    seeds, with carried neighbours' values flowing in once as constants.
+    Because route sets only grow along the worklist and the carried
+    subsystem already sits at its least fixpoint, the result is
+    semantically identical to a from-scratch {!compute} of the new graph
+    (proved per-field by the test suite on every archetype and on random
+    networks); only [iterations] may differ.
+
+    When [external_offers] differs from [previous.external_offers]
+    nothing can be carried and the call degrades to plain {!compute}.
+    [metrics] additionally accumulates [reach.delta.computations],
+    [reach.delta.carried], and [reach.delta.dirty] counters.  Fault and
+    budget semantics at site ["reach.fixpoint"] are identical to
+    {!compute}. *)
+
 val origins_bulk : Rd_routing.Instance_graph.t -> Prefix_set.t array
 (** Every instance's origin set, computed in one pass and memoized per
     graph (physical identity, per domain).  Treat the returned array as
@@ -78,6 +111,7 @@ val origin_of_instance : Rd_routing.Instance_graph.t -> int -> Prefix_set.t
     graph. *)
 
 val routes_of : t -> int -> Prefix_set.t
+(** Route set of one instance (by instance id). *)
 
 val external_routes_of : t -> int -> Prefix_set.t
 (** Routes in the instance for destinations outside the network — the

@@ -35,6 +35,8 @@ type result = {
 }
 
 val compute : Process.catalog -> result
+(** Pair up routing-process endpoints into adjacencies (same protocol,
+    shared subnet, matching session semantics — paper §3.2). *)
 
 val strict_ospf_area : bool ref
 (** When true (default), OSPF adjacency additionally requires both ends to

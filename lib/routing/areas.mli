@@ -23,6 +23,7 @@ val analyze : Process.catalog -> Instance.assignment -> t list
 (** One record per OSPF instance (including single-router ones). *)
 
 val render : Process.catalog -> t -> string
+(** Human-readable area census table with ABR list. *)
 
 val non_backbone_multi_area : t list -> int list
 (** Instances with several areas but no area 0 — a design smell: OSPF

@@ -22,6 +22,8 @@ type assignment = {
 }
 
 val compute : Process.catalog -> Adjacency.result -> assignment
+(** Flood-fill processes into routing instances across same-protocol
+    adjacencies (paper §3.2). *)
 
 val compute_by_process_id : Process.catalog -> assignment
 (** The naive alternative the paper warns against: group processes by
@@ -31,5 +33,7 @@ val size : t -> int
 (** Number of member routers. *)
 
 val find : assignment -> pid:int -> t
+(** The instance a process belongs to. *)
 
 val to_string : t -> string
+(** Display name, e.g. ["ospf-1"] or ["ebgp-as65001"]. *)

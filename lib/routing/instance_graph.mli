@@ -46,14 +46,19 @@ val build : ?metrics:Rd_util.Metrics.t -> Process.catalog -> t
     and [instance.adjacencies]. *)
 
 val instances : t -> Instance.t array
+(** All instances, indexed by instance id. *)
 
 val external_asns : t -> int list
 (** Distinct outside AS numbers peered with, ascending. *)
 
 val edges_between : t -> endpoint -> endpoint -> edge list
+(** Edges from one endpoint to another. *)
 
 val out_edges : t -> endpoint -> edge list
+(** Edges leaving the endpoint. *)
+
 val in_edges : t -> endpoint -> edge list
+(** Edges entering the endpoint. *)
 
 val redistribution_routers : t -> src:int -> dst:int -> int list
 (** Routers that redistribute routes from instance [src] into instance
@@ -69,3 +74,4 @@ val ibgp_mesh_completeness : t -> int -> float option
     §7.1 dimensions along which designs differ. *)
 
 val to_dot : t -> string
+(** Graphviz DOT rendering (what [rdna dot DIR instances] prints). *)

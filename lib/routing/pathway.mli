@@ -33,3 +33,4 @@ val render : Instance_graph.t -> t -> string
 (** Text rendering, deepest sources first. *)
 
 val to_dot : Instance_graph.t -> t -> string
+(** Graphviz DOT rendering of the pathway graph (paper Fig 7/10). *)

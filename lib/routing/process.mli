@@ -25,6 +25,8 @@ type catalog = {
 }
 
 val build : Rd_topo.Topology.t -> catalog
+(** Collect every routing process of every router, with its
+    interface coverage resolved against the topology. *)
 
 val covers : t -> Ipv4.t -> bool
 (** Whether the process's network statements associate it with an

@@ -397,6 +397,8 @@ let process_loads t =
   let loads = Array.to_list (Array.mapi (fun pid rib -> (pid, Rib.size rib)) t.proc_ribs) in
   List.sort (fun (_, a) (_, b) -> Int.compare b a) loads
 
+let total_routes t = Array.fold_left (fun acc rib -> acc + Rib.size rib) 0 t.proc_ribs
+
 let instance_load t (assignment : Instance.assignment) inst_id =
   let sizes =
     List.filter_map

@@ -42,10 +42,18 @@ val run :
     per round. *)
 
 val rib_of_process : t -> int -> Rib.t
+(** Converged RIB of one routing process (by process id). *)
+
 val rib_of_router : t -> int -> Rib.t
+(** Converged router RIB (best routes across the router's processes). *)
 
 val process_loads : t -> (int * int) list
 (** (pid, RIB size) pairs, descending size — the per-process route load. *)
+
+val total_routes : t -> int
+(** Sum of every process RIB's size — the one-number route-load summary a
+    what-if sweep reports per scenario (the quantity §6.2's OSPF-load
+    arguments bound). *)
 
 val instance_load :
   t -> Rd_routing.Instance.assignment -> int -> int * float

@@ -59,6 +59,8 @@ type t
 (** A RIB: maps prefixes to the best route known per source. *)
 
 val empty : t
+(** The RIB with no routes. *)
+
 val add : t -> route -> t
 (** Keep the route if no better route for the same prefix is present.
     Preference: lower administrative distance, then (among BGP routes)
@@ -68,9 +70,16 @@ val lookup : t -> Ipv4.t -> route option
 (** Longest-prefix match, then best route. *)
 
 val find : t -> Prefix.t -> route option
+(** The installed route for exactly this prefix, if any. *)
+
 val routes : t -> route list
+(** All installed routes, in prefix order. *)
+
 val size : t -> int
+(** Number of installed routes (the §6.2 route-load measure). *)
+
 val prefixes : t -> Prefix_set.t
+(** The set of all installed destination prefixes. *)
 
 val merge : t -> t -> t
 (** Union keeping best routes. *)

@@ -631,3 +631,68 @@ let ablation_external (nets : Population.network list) =
        rows);
   bprintf buf "\nwithout the next-hop rule the multipoint externals would be misread as host LANs.\n";
   Buffer.contents buf
+
+(* ------------------------------------------------------- what-if sweeps *)
+
+let default_scenarios (net : Population.network) =
+  let open Rd_core.Whatif in
+  let t = net.analysis.topo in
+  let nr = Array.length t.routers in
+  let scenarios = ref [] in
+  let add label changes = scenarios := { label; changes } :: !scenarios in
+  (* Generated populations place access/edge routers last, so the last
+     router is a leaf loss — the paper's canonical maintenance event. *)
+  if nr > 1 then add "edge-router-out" [ Remove_router (fst t.routers.(nr - 1)) ];
+  (match
+     List.find_opt
+       (fun (l : Rd_topo.Topology.link) -> List.length l.endpoints >= 2)
+       t.links
+   with
+  | Some l -> add "link-out" [ Remove_link l.subnet_of_link ]
+  | None -> ());
+  if Array.length t.ifaces > 0 then begin
+    let i = t.ifaces.(Array.length t.ifaces - 1) in
+    add "iface-maintenance" [ Shutdown_interface (fst t.routers.(i.router), i.name) ]
+  end;
+  List.rev !scenarios
+
+let whatif_sweep ?metrics ?trace (nets : Population.network list) =
+  let buf = Buffer.create 1024 in
+  heading buf "What-if sweeps (incremental engine)"
+    "§8.1 maintenance scenarios, cached baselines and delta-restarted fixpoints";
+  let engine = Rd_core.Engine.create ?metrics ?trace () in
+  let rows =
+    List.concat_map
+      (fun (n : Population.network) ->
+        let net =
+          Rd_core.Engine.load engine ~name:n.spec.label (Population.generate_one n.spec)
+        in
+        List.map
+          (fun (o : Rd_core.Engine.outcome) ->
+            [
+              n.spec.label;
+              o.scenario.label;
+              Printf.sprintf "%d->%d" o.diff.instances_before o.diff.instances_after;
+              string_of_int (List.length o.diff.split_instances);
+              string_of_int (List.length o.diff.lost_reachability);
+              string_of_int (List.length o.touched);
+              Printf.sprintf "%.3f" o.seconds;
+            ])
+          (Rd_core.Engine.run_scenarios engine net (default_scenarios n)))
+      nets
+  in
+  Buffer.add_string buf
+    (Table.render
+       ~headers:
+         [ "network"; "scenario"; "instances"; "split"; "lost pairs"; "touched"; "seconds" ]
+       ~aligns:
+         [ Table.Left; Table.Left; Table.Right; Table.Right; Table.Right; Table.Right;
+           Table.Right ]
+       rows);
+  let hits, misses =
+    List.fold_left
+      (fun (h, m) ((_, s) : string * Cache.stats) -> (h + s.hits, m + s.misses))
+      (0, 0) (Rd_core.Engine.stats engine)
+  in
+  bprintf buf "\ncache: %d hits, %d misses across the engine's stores\n" hits misses;
+  Buffer.contents buf

@@ -56,3 +56,18 @@ val ablation_external : Population.network list -> string
 val scorecard : master_seed:int -> Population.network list -> string
 (** Machine-checked shape verdicts for every reproduced table and figure:
     one PASS/FAIL row per criterion, and a summary line. *)
+
+val default_scenarios : Population.network -> Rd_core.Whatif.scenario list
+(** Deterministic per-network maintenance scenarios for what-if sweeps
+    (§8.1): take out the last (edge) router, remove an internal link,
+    and shut one interface — derived from the network's own topology, so
+    every study network gets applicable scenarios without a hand-written
+    sweep file. *)
+
+val whatif_sweep :
+  ?metrics:Rd_util.Metrics.t -> ?trace:Rd_util.Trace.t ->
+  Population.network list -> string
+(** Run {!default_scenarios} for each network through one shared
+    {!Rd_core.Engine} (cached baselines, delta-restarted fixpoints) and
+    tabulate instance/splits/lost-pairs impact with per-scenario wall
+    time and engine cache totals. *)

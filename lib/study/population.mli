@@ -79,3 +79,4 @@ val repository_sizes : master_seed:int -> count:int -> int list
     tailed, dominated by small networks). *)
 
 val total_routers : master_seed:int -> int
+(** Router count summed over the whole population (paper: 8,035 configs). *)

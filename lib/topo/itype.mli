@@ -33,6 +33,8 @@ val of_interface_name : string -> t
 (** Classify from the configuration name. *)
 
 val to_string : t -> string
+(** Canonical display name (e.g. ["POS"], ["FastEthernet"]); [Other]
+    prints its recovered name. *)
 
 val all_known : t list
 (** Every constructor except [Other], in Table 3 display order. *)
@@ -42,4 +44,7 @@ val is_physical : t -> bool
     (excludes Loopback, Null, Virtual). *)
 
 val compare : t -> t -> int
+(** Table 3 display order, [Other] last (alphabetically within). *)
+
 val equal : t -> t -> bool
+(** Same interface type. *)

@@ -46,6 +46,7 @@ val facing_of : t -> int -> int -> facing
     with no address are Internal by convention (they face no link). *)
 
 val external_interfaces : t -> iface list
+(** Interfaces classified external-facing (§5.2 heuristics). *)
 
 val router_links : t -> int -> link list
 (** Links with at least one endpoint on the given router. *)

@@ -1,0 +1,126 @@
+type key = string (* 20-byte raw SHA-1 digest *)
+
+(* Unambiguous framing: the digest covers the stage name, the version,
+   and every part prefixed by its length, so ["ab"; "c"] and ["a"; "bc"]
+   derive different keys. *)
+let key ~stage ~version parts =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf stage;
+  Buffer.add_char buf '\x00';
+  Buffer.add_string buf (string_of_int version);
+  Buffer.add_char buf '\x00';
+  List.iter
+    (fun part ->
+      Buffer.add_string buf (string_of_int (String.length part));
+      Buffer.add_char buf '\x01';
+      Buffer.add_string buf part)
+    parts;
+  Sha1.digest_string (Buffer.contents buf)
+
+let key_of_keys ~stage ~version keys = key ~stage ~version keys
+
+let hex = Sha1.to_hex
+
+type 'a t = {
+  name : string;
+  capacity : int;
+  mutex : Mutex.t;
+  table : (key, 'a) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable invalidations : int;
+}
+
+let create ?(capacity = 256) ~name () =
+  {
+    name;
+    capacity = max 1 capacity;
+    mutex = Mutex.create ();
+    table = Hashtbl.create 64;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    invalidations = 0;
+  }
+
+let name c = c.name
+
+let locked c f =
+  Mutex.lock c.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock c.mutex) f
+
+let counter c what = Printf.sprintf "cache.%s.%s" c.name what
+
+let set_entries metrics c =
+  Metrics.set metrics (counter c "entries") (float_of_int (Hashtbl.length c.table))
+
+let find ?metrics c k =
+  let r =
+    locked c (fun () ->
+        match Hashtbl.find_opt c.table k with
+        | Some v ->
+          c.hits <- c.hits + 1;
+          Some v
+        | None ->
+          c.misses <- c.misses + 1;
+          None)
+  in
+  (match r with
+   | Some _ -> Metrics.incr metrics (counter c "hits")
+   | None -> Metrics.incr metrics (counter c "misses"));
+  r
+
+let add ?metrics c k v =
+  locked c (fun () ->
+      if Hashtbl.length c.table >= c.capacity && not (Hashtbl.mem c.table k) then begin
+        c.evictions <- c.evictions + Hashtbl.length c.table;
+        Metrics.incr metrics ~by:(Hashtbl.length c.table) (counter c "evictions");
+        Hashtbl.reset c.table
+      end;
+      Hashtbl.replace c.table k v;
+      set_entries metrics c)
+
+let find_or_add ?metrics ?trace c k f =
+  match find ?metrics c k with
+  | Some v -> v
+  | None ->
+    let v =
+      Trace.span ~cat:"cache"
+        ~args:[ ("cache", Trace.String c.name); ("key", Trace.String (hex k)) ]
+        trace "cache.miss" f
+    in
+    add ?metrics c k v;
+    v
+
+let invalidate ?metrics c k =
+  locked c (fun () ->
+      if Hashtbl.mem c.table k then begin
+        Hashtbl.remove c.table k;
+        c.invalidations <- c.invalidations + 1;
+        Metrics.incr metrics (counter c "invalidations");
+        set_entries metrics c
+      end)
+
+let clear ?metrics c =
+  locked c (fun () ->
+      let n = Hashtbl.length c.table in
+      if n > 0 then begin
+        Hashtbl.reset c.table;
+        c.invalidations <- c.invalidations + n;
+        Metrics.incr metrics ~by:n (counter c "invalidations");
+        set_entries metrics c
+      end)
+
+let length c = locked c (fun () -> Hashtbl.length c.table)
+
+type stats = { hits : int; misses : int; evictions : int; invalidations : int }
+
+let stats c =
+  locked c (fun () ->
+      {
+        hits = c.hits;
+        misses = c.misses;
+        evictions = c.evictions;
+        invalidations = c.invalidations;
+      })

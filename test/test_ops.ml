@@ -2,6 +2,7 @@
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
 
 let analyze files = Rd_core.Analysis.analyze ~name:"t" files
 
@@ -307,6 +308,126 @@ router ospf 1
   let d = Rd_core.Whatif.run a [ Rd_core.Whatif.Remove_router "b1" ] in
   check_int "no split" 0 (List.length d.split_instances)
 
+(* ------------------------------------------------ scenarios and engine --- *)
+
+let test_scenario_parsing () =
+  let ok = function Ok v -> v | Error e -> Alcotest.fail e in
+  (* one labelled line, ';'-chained changes *)
+  let s =
+    ok
+      (Rd_core.Whatif.parse_scenario
+         "core-out: remove-router glue; shutdown-interface a1 Serial0/0")
+  in
+  check_string "label" "core-out" s.label;
+  check_int "two changes" 2 (List.length s.changes);
+  (* parse/print round trip *)
+  let s2 = ok (Rd_core.Whatif.parse_scenario (Rd_core.Whatif.scenario_to_string s)) in
+  check_string "round trip" (Rd_core.Whatif.scenario_to_string s)
+    (Rd_core.Whatif.scenario_to_string s2);
+  (* whole file: comments and blanks skipped, default labels in order *)
+  let file =
+    "# sweep\n\nlink-out: remove-link 10.0.0.4/30\nremove-router b1\n  # trailing comment\n"
+  in
+  let ss = ok (Rd_core.Whatif.parse_scenarios file) in
+  check_int "two scenarios" 2 (List.length ss);
+  check_string "explicit label" "link-out" (List.nth ss 0).label;
+  check_string "default label" "s2" (List.nth ss 1).label;
+  (* errors carry the 1-based line number and reject junk *)
+  (match Rd_core.Whatif.parse_scenarios "remove-router a1\nfrobnicate x\n" with
+  | Ok _ -> Alcotest.fail "junk accepted"
+  | Error e -> check_bool "line number in error" true (contains_sub ~needle:"line 2" e));
+  (match Rd_core.Whatif.parse_change "remove-link not-a-prefix" with
+  | Ok _ -> Alcotest.fail "bad prefix accepted"
+  | Error _ -> ());
+  match Rd_core.Whatif.parse_scenario "label-only:" with
+  | Ok _ -> Alcotest.fail "empty scenario accepted"
+  | Error e -> check_bool "no-changes error" true (contains_sub ~needle:"no changes" e)
+
+let test_whatif_touched_files () =
+  let a = analyze linear_net in
+  let d =
+    Rd_core.Whatif.apply_delta a
+      [
+        Rd_core.Whatif.Shutdown_interface ("glue", "Serial0/1");
+        Rd_core.Whatif.Remove_link (Rd_addr.Prefix.of_string_exn "10.0.0.0/30");
+      ]
+  in
+  (* shutdown touches glue; the link removal touches both endpoints *)
+  check_bool "glue touched" true (List.mem "glue" d.touched);
+  check_bool "a1 touched" true (List.mem "a1" d.touched);
+  check_bool "b1 untouched by either change" false (List.mem "b1" d.touched);
+  check_bool "sorted unique" true (d.touched = List.sort_uniq String.compare d.touched);
+  (* a change that matches nothing touches nothing *)
+  let d0 = Rd_core.Whatif.apply_delta a [ Rd_core.Whatif.Remove_router "ghost" ] in
+  check_int "noop touches nothing" 0 (List.length d0.touched)
+
+let test_engine_batch_matches_sequential () =
+  (* the batched, cache-backed engine must render byte-identical diffs to
+     independent from-scratch [Whatif.run] calls *)
+  let scenarios =
+    match
+      Rd_core.Whatif.parse_scenarios
+        "glue-out: remove-router glue\n\
+         link-out: remove-link 10.0.0.4/30\n\
+         maint: shutdown-interface glue Serial0/1; shutdown-interface a1 Serial0/0\n\
+         noop: remove-router ghost\n"
+    with
+    | Ok ss -> ss
+    | Error e -> Alcotest.fail e
+  in
+  let engine = Rd_core.Engine.create () in
+  let net = Rd_core.Engine.load engine ~name:"linear" linear_net in
+  let outcomes = Rd_core.Engine.run_scenarios engine net scenarios in
+  let a = analyze linear_net in
+  List.iter2
+    (fun (o : Rd_core.Engine.outcome) (s : Rd_core.Whatif.scenario) ->
+      check_string
+        ("engine = sequential: " ^ s.label)
+        (Rd_core.Whatif.render (Rd_core.Whatif.run a s.changes))
+        (Rd_core.Whatif.render o.diff))
+    outcomes scenarios;
+  (* running the same sweep again is answered entirely from the stores *)
+  let misses () =
+    List.fold_left
+      (fun acc (_, (s : Rd_util.Cache.stats)) -> acc + s.misses)
+      0
+      (Rd_core.Engine.stats engine)
+  in
+  let before = misses () in
+  let again = Rd_core.Engine.run_scenarios engine net scenarios in
+  check_int "warm sweep misses nothing" before (misses ());
+  List.iter2
+    (fun (o : Rd_core.Engine.outcome) (o2 : Rd_core.Engine.outcome) ->
+      check_string "warm diff identical"
+        (Rd_core.Whatif.render o.diff)
+        (Rd_core.Whatif.render o2.diff))
+    outcomes again
+
+let test_engine_file_edit_invalidation () =
+  (* editing one router's config must re-parse only that file and re-run
+     the whole-network analysis under a fresh key *)
+  let engine = Rd_core.Engine.create () in
+  let net = Rd_core.Engine.load engine ~name:"linear" linear_net in
+  let parse_stats () = List.assoc "parse" (Rd_core.Engine.stats engine) in
+  let s0 = parse_stats () in
+  check_int "three cold parses" 3 s0.misses;
+  let edited =
+    List.map
+      (fun (n, text) ->
+        if n = "b1" then (n, text ^ "!\ninterface Loopback0\n ip address 10.9.0.1 255.255.255.255\n")
+        else (n, text))
+      linear_net
+  in
+  let net' = Rd_core.Engine.load engine ~name:"linear" edited in
+  check_bool "network key changed" false (net.key = net'.key);
+  let s1 = parse_stats () in
+  check_int "only the edited file re-parses" (s0.misses + 1) s1.misses;
+  check_int "unedited files hit" (s0.hits + 2) s1.hits;
+  (* reloading the original bytes is a pure hit: same key, same analysis *)
+  let net'' = Rd_core.Engine.load engine ~name:"linear" linear_net in
+  check_bool "original key stable" true (net.key = net''.key);
+  check_bool "analysis shared" true (net.analysis == net''.analysis)
+
 let test_ospf_area_audit () =
   (* multi-area instance without a backbone area, and an area behind a
      single ABR *)
@@ -424,6 +545,12 @@ let () =
           Alcotest.test_case "unknown change is noop" `Quick test_whatif_noop;
           Alcotest.test_case "unknown targets warn" `Quick test_whatif_unknown_targets_warn;
           Alcotest.test_case "leaf removal harmless" `Quick test_whatif_redundant_link_harmless;
+          Alcotest.test_case "scenario parsing" `Quick test_scenario_parsing;
+          Alcotest.test_case "touched files reported" `Quick test_whatif_touched_files;
+          Alcotest.test_case "engine batch = sequential" `Quick
+            test_engine_batch_matches_sequential;
+          Alcotest.test_case "file edit invalidates precisely" `Quick
+            test_engine_file_edit_invalidation;
         ] );
       ( "inventory",
         [

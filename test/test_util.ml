@@ -695,6 +695,94 @@ let test_dot () =
   Dot.edge u "x" "y";
   check_bool "undirected" true (String.sub (Dot.to_string u) 0 5 = "graph")
 
+(* ---------------------------------------------------------------- cache --- *)
+
+let test_cache_key_determinism () =
+  let k1 = Cache.key ~stage:"parse" ~version:1 [ "file"; "bytes" ] in
+  let k2 = Cache.key ~stage:"parse" ~version:1 [ "file"; "bytes" ] in
+  check_string "same inputs, same key" (Cache.hex k1) (Cache.hex k2);
+  check_int "40 hex chars" 40 (String.length (Cache.hex k1));
+  let different =
+    [
+      Cache.key ~stage:"parse" ~version:2 [ "file"; "bytes" ];
+      Cache.key ~stage:"analysis" ~version:1 [ "file"; "bytes" ];
+      Cache.key ~stage:"parse" ~version:1 [ "fileb"; "ytes" ];
+      Cache.key ~stage:"parse" ~version:1 [ "file"; "bytes"; "" ];
+      Cache.key ~stage:"parse" ~version:1 [ "filebytes" ];
+    ]
+  in
+  List.iteri
+    (fun i k ->
+      check_bool (Printf.sprintf "variant %d differs" i) false (Cache.hex k = Cache.hex k1))
+    different;
+  let c = Cache.key_of_keys ~stage:"reach" ~version:1 [ k1; k2 ] in
+  check_string "compound key deterministic"
+    (Cache.hex (Cache.key_of_keys ~stage:"reach" ~version:1 [ k1; k2 ]))
+    (Cache.hex c)
+
+let test_cache_hit_after_miss () =
+  let c = Cache.create ~name:"t" () in
+  let k = Cache.key ~stage:"s" ~version:1 [ "x" ] in
+  check_bool "initially absent" true (Cache.find c k = None);
+  let computed = ref 0 in
+  let v = Cache.find_or_add c k (fun () -> incr computed; 42) in
+  check_int "computed" 42 v;
+  let v2 = Cache.find_or_add c k (fun () -> incr computed; 43) in
+  check_int "hit returns cached" 42 v2;
+  check_int "computed once" 1 !computed;
+  let s = Cache.stats c in
+  (* find (miss) + find_or_add's inner finds: one more miss, then a hit *)
+  check_int "hits" 1 s.hits;
+  check_int "misses" 2 s.misses;
+  check_int "length" 1 (Cache.length c)
+
+let test_cache_invalidate_and_clear () =
+  let c = Cache.create ~name:"t" () in
+  let k1 = Cache.key ~stage:"s" ~version:1 [ "a" ] in
+  let k2 = Cache.key ~stage:"s" ~version:1 [ "b" ] in
+  Cache.add c k1 "one";
+  Cache.add c k2 "two";
+  Cache.invalidate c k1;
+  check_bool "k1 gone" true (Cache.find c k1 = None);
+  check_bool "k2 survives" true (Cache.find c k2 = Some "two");
+  Cache.invalidate c k1;
+  (* idempotent: a second invalidation of an absent key counts nothing *)
+  check_int "one invalidation" 1 (Cache.stats c).invalidations;
+  Cache.clear c;
+  check_int "empty" 0 (Cache.length c);
+  check_int "clear counts the dropped entry" 2 (Cache.stats c).invalidations
+
+let test_cache_eviction_bounds_memory () =
+  let c = Cache.create ~capacity:4 ~name:"t" () in
+  for i = 1 to 10 do
+    Cache.add c (Cache.key ~stage:"s" ~version:1 [ string_of_int i ]) i
+  done;
+  check_bool "bounded" true (Cache.length c <= 4);
+  check_bool "evictions counted" true ((Cache.stats c).evictions > 0);
+  (* replacing an existing key at capacity must not evict *)
+  let c2 = Cache.create ~capacity:2 ~name:"t2" () in
+  let k = Cache.key ~stage:"s" ~version:1 [ "k" ] in
+  Cache.add c2 k 1;
+  Cache.add c2 (Cache.key ~stage:"s" ~version:1 [ "l" ]) 2;
+  Cache.add c2 k 3;
+  check_int "no eviction on replace" 0 (Cache.stats c2).evictions;
+  check_bool "replaced" true (Cache.find c2 k = Some 3)
+
+let test_cache_metrics_and_trace () =
+  let m = Metrics.create () in
+  let tr = Trace.create () in
+  let c = Cache.create ~name:"probe" () in
+  let k = Cache.key ~stage:"s" ~version:1 [ "x" ] in
+  ignore (Cache.find_or_add ~metrics:m ~trace:tr c k (fun () -> 1));
+  ignore (Cache.find_or_add ~metrics:m ~trace:tr c k (fun () -> 2));
+  Cache.invalidate ~metrics:m c k;
+  let counter name = Option.value ~default:0 (Metrics.counter_value m name) in
+  check_int "hit counter" 1 (counter "cache.probe.hits");
+  check_int "miss counter" 1 (counter "cache.probe.misses");
+  check_int "invalidation counter" 1 (counter "cache.probe.invalidations");
+  check_bool "miss span recorded" true
+    (List.exists (fun (s : Trace.span) -> s.name = "cache.miss") (Trace.spans tr))
+
 let () =
   let qc = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "rd_util"
@@ -768,4 +856,12 @@ let () =
       ("cdf", [ Alcotest.test_case "evaluation and plotting" `Quick test_cdf ]);
       ("table", [ Alcotest.test_case "rendering" `Quick test_table ]);
       ("dot", [ Alcotest.test_case "emission" `Quick test_dot ]);
+      ( "cache",
+        [
+          Alcotest.test_case "key determinism" `Quick test_cache_key_determinism;
+          Alcotest.test_case "hit after miss" `Quick test_cache_hit_after_miss;
+          Alcotest.test_case "invalidate and clear" `Quick test_cache_invalidate_and_clear;
+          Alcotest.test_case "eviction bounds memory" `Quick test_cache_eviction_bounds_memory;
+          Alcotest.test_case "metrics and trace wiring" `Quick test_cache_metrics_and_trace;
+        ] );
     ]
