@@ -22,6 +22,12 @@ let die ~code fmt =
 let guard f =
   try f () with
   | Sys_error msg -> die ~code:"io" "%s" msg
+  | Rd_util.Cancel.Cancelled _ as e ->
+    (* 130, the shell's interrupted convention — distinct from the coded
+       exit 1, so wrappers can tell "stopped on request or deadline"
+       from "found problems". *)
+    Printf.eprintf "rdna: error [cancelled]: %s\n" (Printexc.to_string e);
+    exit 130
   | Rd_util.Fault.Injected _ as e -> die ~code:"fault-injected" "%s" (Printexc.to_string e)
   | Rd_util.Limits.Budget_exceeded _ as e ->
     die ~code:"budget-exceeded" "%s" (Printexc.to_string e)
@@ -42,6 +48,68 @@ let load_dir dir =
        if Sys.is_directory path then None else Some (f, read_file path))
 
 let analyze_dir dir = Rd_core.Analysis.analyze ~name:(Filename.basename dir) (load_dir dir)
+
+(* --- deadlines, cancellation, checkpoint plumbing ----------------------- *)
+
+(* Every long-running entry point builds one root token: [--deadline]
+   arms it with an absolute expiry, SIGINT/SIGTERM trip it by hand.
+   Work stops cooperatively at the next poll point; the command then
+   renders whatever completed (partial tables included), flushes its
+   trace/metrics/checkpoint sinks, and exits through
+   [exit_interrupted]. *)
+let root_token ?deadline () =
+  let root = Rd_util.Cancel.create ?deadline () in
+  let handle name = Sys.Signal_handle (fun _ -> Rd_util.Cancel.cancel ~reason:name root) in
+  (try Sys.set_signal Sys.sigint (handle "SIGINT") with Invalid_argument _ | Sys_error _ -> ());
+  (try Sys.set_signal Sys.sigterm (handle "SIGTERM") with Invalid_argument _ | Sys_error _ -> ());
+  root
+
+(* Interrupted by signal: exit 130 after the partial output is out.  A
+   tripped [--deadline] is not a signal — the run degrades per network
+   and exits 1 through the failures path instead. *)
+let exit_interrupted root =
+  match Rd_util.Cancel.status root with
+  | Some (Rd_util.Cancel.Stopped _) -> exit 130
+  | _ -> ()
+
+let open_checkpoint ?metrics ~resume dir_opt =
+  match dir_opt with
+  | None ->
+    if resume then die ~code:"usage" "--resume requires --checkpoint DIR";
+    None
+  | Some d -> Some (Rd_study.Checkpoint.open_dir ?metrics d)
+
+let checkpoint_stats = function
+  | None -> ()
+  | Some ck -> Printf.eprintf "%s\n" (Rd_study.Checkpoint.render_stats ck)
+
+let deadline_arg =
+  Cmdliner.Arg.(value & opt (some float) None
+       & info [ "deadline" ] ~docv:"SEC"
+           ~doc:"Whole-run budget: after $(docv) seconds every remaining network degrades \
+                 to a Timed_out failure row at its next poll point (exit 1), instead of \
+                 running to completion.")
+
+let task_timeout_arg =
+  Cmdliner.Arg.(value & opt (some float) None
+       & info [ "task-timeout" ] ~docv:"SEC"
+           ~doc:"Per-network budget, clocked from each network's start: one slow network \
+                 degrades alone while the rest of the sweep completes.")
+
+let checkpoint_arg =
+  Cmdliner.Arg.(value & opt (some string) None
+       & info [ "checkpoint" ] ~docv:"DIR"
+           ~doc:"Durably persist each completed network's result to the content-addressed \
+                 store in $(docv) as it finishes (atomic write-then-rename; corrupt entries \
+                 degrade to misses).")
+
+let resume_arg =
+  Cmdliner.Arg.(value & flag
+       & info [ "resume" ]
+           ~doc:"Probe the $(b,--checkpoint) store before building each network and replay \
+                 hits verbatim — an interrupted sweep restarted with $(b,--resume) produces \
+                 a byte-identical report, skipping the finished networks (the stderr store \
+                 stats line shows the hits).")
 
 (* A plain string, not cmdliner's [dir] converter: the latter rejects a
    missing directory with its own usage-style message and exit 124,
@@ -350,7 +418,7 @@ let whatif_cmd =
          rows)
   in
   let run dir study seed only batch remove_routers remove_links shutdowns json metrics_flag
-      trace_file =
+      trace_file deadline task_timeout checkpoint_dir resume =
     guard @@ fun () ->
     let trace = if trace_file <> None then Some (Rd_util.Trace.create ()) else None in
     let metrics = if metrics_flag then Some (Rd_util.Metrics.create ()) else None in
@@ -392,8 +460,12 @@ let whatif_cmd =
         die ~code:"usage" "--study derives per-network scenarios; it excludes --batch and \
                            inline change flags";
       let only_opt = match only with [] -> None | ids -> Some ids in
-      let nets = Rd_study.Population.build ?only:only_opt ?metrics ?trace ~master_seed:seed () in
       if json then begin
+        if deadline <> None || task_timeout <> None || checkpoint_dir <> None || resume then
+          die ~code:"usage" "--json excludes --deadline/--task-timeout/--checkpoint/--resume";
+        let nets =
+          Rd_study.Population.build ?only:only_opt ?metrics ?trace ~master_seed:seed ()
+        in
         let engine = Rd_core.Engine.create ?metrics ?trace () in
         let networks =
           List.map
@@ -414,11 +486,37 @@ let whatif_cmd =
             nets
         in
         print_endline
-          (J.to_string (J.Obj [ ("networks", J.List networks); ("cache", cache_json engine) ]))
+          (J.to_string (J.Obj [ ("networks", J.List networks); ("cache", cache_json engine) ]));
+        finish ()
       end
-      else print_string (Rd_study.Experiments.whatif_sweep ?metrics ?trace nets);
-      finish ()
+      else begin
+        let root = root_token ?deadline () in
+        let checkpoint = open_checkpoint ?metrics ~resume checkpoint_dir in
+        let report, failures =
+          Rd_study.Driver.whatif ?metrics ?trace ~cancel:root ?task_timeout ?checkpoint
+            ~resume ?only:only_opt ~master_seed:seed ()
+        in
+        print_string report;
+        (if failures <> [] then
+           let total =
+             List.length
+               (Rd_study.Population.wanted_specs ?only:only_opt ~master_seed:seed ())
+           in
+           print_string (Rd_study.Population.render_failures ~total failures));
+        finish ();
+        checkpoint_stats checkpoint;
+        exit_interrupted root;
+        if failures <> [] then exit 1
+      end
     | Some d, false ->
+      if checkpoint_dir <> None || resume then
+        die ~code:"usage" "--checkpoint/--resume apply to --study sweeps";
+      let root = root_token ?deadline () in
+      let cancel =
+        match task_timeout with
+        | None -> root
+        | Some dl -> Rd_util.Cancel.child ~deadline:dl root
+      in
       let name = Filename.basename d in
       let files = load_dir d in
       let scenarios =
@@ -437,7 +535,7 @@ let whatif_cmd =
                or --batch FILE)"
           else [ { Rd_core.Whatif.label = "cli"; changes = inline_changes } ]
       in
-      let engine = Rd_core.Engine.create ?metrics ?trace () in
+      let engine = Rd_core.Engine.create ?metrics ?trace ~cancel () in
       let net = Rd_core.Engine.load engine ~name files in
       let outcomes = Rd_core.Engine.run_scenarios engine net scenarios in
       (if json then
@@ -455,7 +553,8 @@ let whatif_cmd =
            (* single inline scenario: the classic detailed diff *)
            print_string (Rd_core.Whatif.render o.diff)
          | _ -> render_table (List.map (outcome_row name) outcomes));
-      finish ()
+      finish ();
+      exit_interrupted root
   in
   let dir_opt_arg =
     Arg.(value & pos 0 (some string) None
@@ -521,49 +620,95 @@ let whatif_cmd =
              scenario's reachability restarts from the baseline fixpoint's dirtied frontier \
              only.")
     Term.(const run $ dir_opt_arg $ study_arg $ seed_arg $ only_arg $ batch_arg $ routers_arg
-          $ links_arg $ shutdown_arg $ json_arg $ metrics_arg $ trace_arg)
+          $ links_arg $ shutdown_arg $ json_arg $ metrics_arg $ trace_arg $ deadline_arg
+          $ task_timeout_arg $ checkpoint_arg $ resume_arg)
 
 (* --- crosscheck --------------------------------------------------------- *)
 
 let crosscheck_cmd =
-  let run dir study seed only jobs json shrink repro_dir =
+  let run dir study seed only jobs json shrink repro_dir inject deadline task_timeout
+      checkpoint_dir resume =
     guard @@ fun () ->
-    let inputs =
-      match (dir, study) with
-      | Some _, true -> die ~code:"usage" "give either DIR or --study, not both"
-      | Some d, false -> [ (Filename.basename d, load_dir d) ]
-      | None, true ->
-        Rd_study.Population.specs ~master_seed:seed
-        |> List.filter (fun (s : Rd_study.Population.spec) ->
-             only = [] || List.mem s.net_id only)
-        |> List.map (fun (s : Rd_study.Population.spec) ->
-             (s.label, Rd_study.Population.generate_one s))
-      | None, false -> die ~code:"usage" "give a DIR of configurations or --study"
+    let faults =
+      match inject with
+      | Some spec -> (
+        match Rd_util.Fault.of_spec spec with
+        | Ok f -> Some f
+        | Error msg -> die ~code:"bad-fault-spec" "--inject-faults: %s" msg)
+      | None -> (
+        match Rd_util.Fault.from_env () with
+        | Ok f -> f
+        | Error msg -> die ~code:"bad-fault-spec" "RDNA_FAULTS: %s" msg)
     in
-    let reports =
-      Rd_util.Pool.parallel_map ~jobs
-        (fun (name, files) -> Rd_check.Crosscheck.run ~name files)
-        inputs
+    let shrink_one ~name ~files (r : Rd_check.Crosscheck.report) =
+      match r.violations with
+      | [] -> ()
+      | v :: _ ->
+        let violates fs = Rd_check.Crosscheck.violates ~invariant:v.invariant ~name fs in
+        let minimal = Rd_check.Shrink.shrink ~violates files in
+        let out = Filename.concat repro_dir (name ^ "-" ^ v.invariant) in
+        Rd_check.Shrink.write_repro ~dir:out ~network:name ~invariant:v.invariant
+          ~detail:v.detail minimal;
+        Printf.eprintf "repro written to %s (%d of %d files)\n" out (List.length minimal)
+          (List.length files)
     in
-    if json then print_endline (Rd_util.Json.to_string (Rd_check.Crosscheck.to_json reports))
-    else print_string (Rd_check.Crosscheck.render reports);
-    if shrink then
-      List.iter2
-        (fun (name, files) (r : Rd_check.Crosscheck.report) ->
-          match r.violations with
-          | [] -> ()
-          | v :: _ ->
-            let violates fs =
-              Rd_check.Crosscheck.violates ~invariant:v.invariant ~name fs
-            in
-            let minimal = Rd_check.Shrink.shrink ~violates files in
-            let out = Filename.concat repro_dir (name ^ "-" ^ v.invariant) in
-            Rd_check.Shrink.write_repro ~dir:out ~network:name ~invariant:v.invariant
-              ~detail:v.detail minimal;
-            Printf.eprintf "repro written to %s (%d of %d files)\n" out
-              (List.length minimal) (List.length files))
-        inputs reports;
-    if Rd_check.Crosscheck.has_errors reports then exit 1
+    match (dir, study) with
+    | Some _, true -> die ~code:"usage" "give either DIR or --study, not both"
+    | None, false -> die ~code:"usage" "give a DIR of configurations or --study"
+    | Some d, false ->
+      if checkpoint_dir <> None || resume then
+        die ~code:"usage" "--checkpoint/--resume apply to --study sweeps";
+      let root = root_token ?deadline () in
+      let cancel =
+        match task_timeout with
+        | None -> root
+        | Some dl -> Rd_util.Cancel.child ~deadline:dl root
+      in
+      let name = Filename.basename d in
+      let files = load_dir d in
+      let reports = [ Rd_check.Crosscheck.run ~cancel ?faults ~name files ] in
+      if json then
+        print_endline (Rd_util.Json.to_string (Rd_check.Crosscheck.to_json reports))
+      else print_string (Rd_check.Crosscheck.render reports);
+      if shrink then List.iter (shrink_one ~name ~files) reports;
+      exit_interrupted root;
+      if Rd_check.Crosscheck.has_errors reports then exit 1
+    | None, true ->
+      let only_opt = match only with [] -> None | ids -> Some ids in
+      let root = root_token ?deadline () in
+      let checkpoint = open_checkpoint ~resume checkpoint_dir in
+      (* The fault spec changes results, so it joins the resume key — a
+         resumed run under different chaos misses instead of replaying. *)
+      let salt = match inject with Some spec -> [ "faults=" ^ spec ] | None -> [] in
+      let results =
+        Rd_study.Driver.crosscheck ?faults ~cancel:root ?task_timeout ~salt ~jobs
+          ?checkpoint ~resume ?only:only_opt ~master_seed:seed ()
+      in
+      let reports = List.filter_map (fun (_, r) -> Result.to_option r) results in
+      let failures =
+        List.filter_map
+          (fun (_, r) -> match r with Error f -> Some f | Ok _ -> None)
+          results
+      in
+      if json then
+        print_endline (Rd_util.Json.to_string (Rd_check.Crosscheck.to_json reports))
+      else print_string (Rd_check.Crosscheck.render reports);
+      if failures <> [] then
+        print_string
+          (Rd_study.Population.render_failures ~total:(List.length results) failures);
+      if shrink then
+        List.iter
+          (fun ((spec : Rd_study.Population.spec), r) ->
+            match r with
+            | Ok (report : Rd_check.Crosscheck.report) when report.violations <> [] ->
+              shrink_one ~name:spec.label
+                ~files:(Rd_study.Population.generate_one spec)
+                report
+            | _ -> ())
+          results;
+      checkpoint_stats checkpoint;
+      exit_interrupted root;
+      if failures <> [] || Rd_check.Crosscheck.has_errors reports then exit 1
   in
   let dir_opt_arg =
     Arg.(value & pos 0 (some string) None
@@ -597,6 +742,13 @@ let crosscheck_cmd =
     Arg.(value & opt string "crosscheck-repro"
          & info [ "repro-dir" ] ~docv:"DIR" ~doc:"Where $(b,--shrink) writes repro directories.")
   in
+  let inject_arg =
+    Arg.(value & opt (some string) None
+         & info [ "inject-faults" ] ~docv:"SPEC"
+             ~doc:"Deterministic chaos: inject faults per $(docv) (e.g. \
+                   $(b,seed=7;crosscheck.network:delay=5:key=net16)); falls back to the \
+                   $(b,RDNA_FAULTS) environment variable.")
+  in
   Cmd.v
     (Cmd.info "crosscheck"
        ~doc:"Differential reachability cross-check: assert the concrete simulation's routes are \
@@ -605,7 +757,8 @@ let crosscheck_cmd =
              remove-router monotonicity, worklist=rounds).  Exits non-zero on any \
              error-severity violation.")
     Term.(const run $ dir_opt_arg $ study_arg $ seed_arg $ only_arg $ jobs_arg $ json_arg
-          $ shrink_arg $ repro_arg)
+          $ shrink_arg $ repro_arg $ inject_arg $ deadline_arg $ task_timeout_arg
+          $ checkpoint_arg $ resume_arg)
 
 (* --- generate ----------------------------------------------------------- *)
 
@@ -647,10 +800,15 @@ let generate_cmd =
 
 let study_cmd =
   let run seed only jobs timing trace_file metrics_flag metrics_json inject fail_fast
-      keep_going retries =
+      keep_going retries deadline task_timeout checkpoint_dir resume =
     guard @@ fun () ->
     if fail_fast && keep_going then
       die ~code:"usage" "--fail-fast and --keep-going are mutually exclusive";
+    if fail_fast && (deadline <> None || task_timeout <> None || checkpoint_dir <> None || resume)
+    then
+      die ~code:"usage"
+        "--fail-fast excludes --deadline/--task-timeout/--checkpoint/--resume (supervision \
+         needs keep-going)";
     (* --timing is served from the same recorder as --trace; tracing and
        metrics are purely observational, so study output is byte-identical
        with or without them (the bench asserts this). *)
@@ -676,45 +834,60 @@ let study_cmd =
     (* Default discipline is keep-going: one bad network degrades into a
        failed-network row while the other thirty print normally.
        --fail-fast restores abort-on-first-failure (caught by [guard]). *)
-    let nets, failures, total =
+    let items, failures, total, root, checkpoint =
       if fail_fast then
         let nets =
           Rd_study.Population.build ?only:only_opt ?trace ?metrics ?faults ~jobs
             ~master_seed:seed ()
         in
-        (nets, [], List.length nets)
-      else
-        let results =
-          Rd_study.Population.build_results ?only:only_opt ?trace ?metrics ?faults ~retries
-            ~jobs ~master_seed:seed ()
+        let items =
+          List.map
+            (fun (n : Rd_study.Population.network) ->
+              { Rd_study.Driver.stat = Rd_study.Netstat.of_network n; network = Some n })
+            nets
         in
-        let nets, failures = Rd_study.Population.partition results in
-        (nets, failures, List.length results)
+        (items, [], List.length nets, None, None)
+      else
+        let root = root_token ?deadline () in
+        let checkpoint = open_checkpoint ?metrics ~resume checkpoint_dir in
+        let results =
+          Rd_study.Driver.study ?trace ?metrics ?faults ~cancel:root ?task_timeout ~retries
+            ~jobs ?checkpoint ~resume ?only:only_opt ~master_seed:seed ()
+        in
+        let items, failures =
+          List.partition_map
+            (function Ok i -> Either.Left i | Error f -> Either.Right f)
+            results
+        in
+        (items, failures, List.length results, Some root, checkpoint)
     in
     List.iter
-      (fun (n : Rd_study.Population.network) ->
-        Printf.printf "--- %s (%s, %d routers) ---\n" n.spec.label
-          (Rd_gen.Archetype.to_string n.spec.arch) n.spec.n;
-        print_string (Rd_core.Analysis.summary n.analysis))
-      nets;
+      (fun (i : Rd_study.Driver.study_item) ->
+        print_string (Rd_study.Netstat.render_block i.stat))
+      items;
     if only = [] then begin
-      print_string (Rd_study.Experiments.sec7 nets);
-      print_string (Rd_study.Experiments.table1 nets);
-      print_string (Rd_study.Experiments.table3 nets);
-      print_string (Rd_study.Experiments.fig11 nets)
+      let stats = List.map (fun (i : Rd_study.Driver.study_item) -> i.stat) items in
+      print_string (Rd_study.Experiments.sec7_stats stats);
+      print_string (Rd_study.Experiments.table1_stats stats);
+      print_string (Rd_study.Experiments.table3_stats stats);
+      print_string (Rd_study.Experiments.fig11_stats stats)
     end;
     if failures <> [] then
       print_string (Rd_study.Population.render_failures ~total failures);
     (* The study proper never runs the reachability fixpoint; when metrics
        were asked for, run it per network (results discarded) so the
-       reach.* fixpoint counters are populated. *)
+       reach.* fixpoint counters are populated.  Checkpoint-replayed
+       networks carry no analysis, so they contribute no counters. *)
     (match metrics with
      | None -> ()
      | Some _ ->
        List.iter
-         (fun (n : Rd_study.Population.network) ->
-           ignore (Rd_reach.Reachability.compute ?metrics n.analysis.graph))
-         nets);
+         (fun (i : Rd_study.Driver.study_item) ->
+           match i.network with
+           | Some (n : Rd_study.Population.network) ->
+             ignore (Rd_reach.Reachability.compute ?metrics n.analysis.graph)
+           | None -> ())
+         items);
     (match trace with
      | Some t when timing ->
        Printf.printf "--- pipeline stage wall time (%d jobs) ---\n" jobs;
@@ -738,6 +911,8 @@ let study_cmd =
          Rd_util.Json.to_file path (Rd_util.Metrics.to_json m);
          Printf.eprintf "metrics written to %s\n" path
        | None -> ());
+    checkpoint_stats checkpoint;
+    (match root with Some r -> exit_interrupted r | None -> ());
     if failures <> [] then exit 1
   in
   let seed_arg = Arg.(value & opt int 2004 & info [ "seed" ] ~docv:"SEED" ~doc:"Master seed.") in
@@ -803,7 +978,8 @@ let study_cmd =
   in
   Cmd.v (Cmd.info "study" ~doc:"Run the 31-network study (paper §5-§7).")
     Term.(const run $ seed_arg $ only_arg $ jobs_arg $ timing_arg $ trace_arg $ metrics_arg
-          $ metrics_json_arg $ inject_arg $ fail_fast_arg $ keep_going_arg $ retries_arg)
+          $ metrics_json_arg $ inject_arg $ fail_fast_arg $ keep_going_arg $ retries_arg
+          $ deadline_arg $ task_timeout_arg $ checkpoint_arg $ resume_arg)
 
 let () =
   let info = Cmd.info "rdna" ~version:"1.0.0" ~doc:"Routing design reverse engineering (SIGCOMM'04 reproduction)." in

@@ -68,9 +68,10 @@ let witnesses prefixes =
    set grants (its network address is inside) is an artifact of
    lowering per-route filters — which match a route by its network
    address — to address sets, and is reported as a warning. *)
-let sim_subset_static ?limits ~approx (a : Analysis.t) (r : Rd_reach.Reachability.t) =
+let sim_subset_static ?limits ?cancel ?faults ~approx (a : Analysis.t)
+    (r : Rd_reach.Reachability.t) =
   let pg = Rd_routing.Process_graph.build a.catalog in
-  let sim = Rd_sim.Propagate.run ?limits pg in
+  let sim = Rd_sim.Propagate.run ?limits ?cancel ?faults pg in
   if not sim.converged then
     Error
       (Printf.sprintf "simulation unconverged after %d rounds; containment proves nothing"
@@ -158,14 +159,14 @@ let structure (a : Analysis.t) =
     ("address blocks", string_of_int (List.length a.blocks));
   ]
 
-let anonymize_structure ?limits (a : Analysis.t) = function
+let anonymize_structure ?limits ?cancel (a : Analysis.t) = function
   | None -> Error "raw configuration texts not available"
   | Some files ->
     let anonymizer = Anonymizer.create ~key:("crosscheck-" ^ a.name) in
     let anon =
       List.map (fun (name, text) -> (name, Anonymizer.anonymize_config anonymizer text)) files
     in
-    let a' = Analysis.analyze ?limits ~name:(a.name ^ "+anon") anon in
+    let a' = Analysis.analyze ?limits ?cancel ~name:(a.name ^ "+anon") anon in
     Ok
       (List.filter_map
          (fun ((what, before), (_, after)) ->
@@ -182,7 +183,7 @@ let anonymize_structure ?limits (a : Analysis.t) = function
 
 (* Conjoining every edge filter with a deny set can only shrink the
    fixpoint: the static analysis is monotone in its filters. *)
-let deny_filter_monotone ?limits (a : Analysis.t) (r : Rd_reach.Reachability.t) =
+let deny_filter_monotone ?limits ?cancel (a : Analysis.t) (r : Rd_reach.Reachability.t) =
   match Prefix_set.to_prefixes (Rd_reach.Reachability.internal_space r) with
   | [] -> Error "no internal address space to probe"
   | probe :: _ ->
@@ -200,7 +201,7 @@ let deny_filter_monotone ?limits (a : Analysis.t) (r : Rd_reach.Reachability.t) 
             a.graph.edges;
       }
     in
-    let r' = Rd_reach.Reachability.compute ?limits graph' in
+    let r' = Rd_reach.Reachability.compute ?limits ?cancel graph' in
     let violations = ref [] in
     Array.iteri
       (fun i _ ->
@@ -233,16 +234,17 @@ let sample_hosts (r : Rd_reach.Reachability.t) =
    may become reachable.  Compared with empty external offers, as
    Whatif.compare does, so the unknown outside world cannot mask a
    growth. *)
-let remove_router_monotone ?limits (a : Analysis.t) =
+let remove_router_monotone ?limits ?cancel (a : Analysis.t) =
   if Array.length a.topo.routers = 0 then Error "no routers"
   else begin
     let name = fst a.topo.routers.(0) in
     let after = Whatif.apply a [ Whatif.Remove_router name ] in
     let rb =
-      Rd_reach.Reachability.compute ?limits ~external_offers:Prefix_set.empty a.graph
+      Rd_reach.Reachability.compute ?limits ?cancel ~external_offers:Prefix_set.empty a.graph
     in
     let ra =
-      Rd_reach.Reachability.compute ?limits ~external_offers:Prefix_set.empty after.graph
+      Rd_reach.Reachability.compute ?limits ?cancel ~external_offers:Prefix_set.empty
+        after.graph
     in
     let hosts = sample_hosts rb in
     let gained =
@@ -275,8 +277,8 @@ let remove_router_monotone ?limits (a : Analysis.t) =
 
 (* PR 5's 31-network regression, generalized: the worklist fixpoint and
    the legacy full-sweep fixpoint must agree exactly. *)
-let worklist_equals_rounds ?limits (a : Analysis.t) (r : Rd_reach.Reachability.t) =
-  let r2 = Rd_reach.Reachability.compute_rounds ?limits a.graph in
+let worklist_equals_rounds ?limits ?cancel (a : Analysis.t) (r : Rd_reach.Reachability.t) =
+  let r2 = Rd_reach.Reachability.compute_rounds ?limits ?cancel a.graph in
   let violations = ref [] in
   Array.iteri
     (fun i _ ->
@@ -316,8 +318,17 @@ let worklist_equals_rounds ?limits (a : Analysis.t) (r : Rd_reach.Reachability.t
 
 (* --- driver ------------------------------------------------------------- *)
 
-let run_analysis ?limits ?(invariants = all_invariants) ?files (a : Analysis.t) =
-  let r = Rd_reach.Reachability.compute ?limits a.graph in
+let run_analysis ?limits ?cancel ?faults ?(invariants = all_invariants) ?files
+    (a : Analysis.t) =
+  (* The per-network oracle is a cancellation scope of its own: one
+     poll before the baseline fixpoint, one between invariants, plus
+     the polls inside every fixpoint/simulation it drives.  [faults]
+     additionally arms the ["crosscheck.network"] site (key = network
+     name), the chaos handle used to delay or kill one network's
+     oracle. *)
+  Rd_util.Fault.fault_point faults ~site:"crosscheck.network" ~key:a.name;
+  Rd_util.Cancel.check ~site:"crosscheck.network" cancel;
+  let r = Rd_reach.Reachability.compute ?limits ?cancel a.graph in
   let approx = approximations a <> [] in
   let checked = ref [] and skipped = ref [] and violations = ref [] in
   let converged = ref true in
@@ -330,15 +341,16 @@ let run_analysis ?limits ?(invariants = all_invariants) ?files (a : Analysis.t) 
   in
   List.iter
     (fun inv ->
+      Rd_util.Cancel.check ~site:"crosscheck.invariant" cancel;
       match inv with
       | "sim-subset-static" ->
-        let result = sim_subset_static ?limits ~approx a r in
+        let result = sim_subset_static ?limits ?cancel ?faults ~approx a r in
         (match result with Error _ -> converged := false | Ok _ -> ());
         record inv result
-      | "anonymize-structure" -> record inv (anonymize_structure ?limits a files)
-      | "deny-filter-monotone" -> record inv (deny_filter_monotone ?limits a r)
-      | "remove-router-monotone" -> record inv (remove_router_monotone ?limits a)
-      | "worklist-equals-rounds" -> record inv (worklist_equals_rounds ?limits a r)
+      | "anonymize-structure" -> record inv (anonymize_structure ?limits ?cancel a files)
+      | "deny-filter-monotone" -> record inv (deny_filter_monotone ?limits ?cancel a r)
+      | "remove-router-monotone" -> record inv (remove_router_monotone ?limits ?cancel a)
+      | "worklist-equals-rounds" -> record inv (worklist_equals_rounds ?limits ?cancel a r)
       | other -> skipped := (other, "unknown invariant") :: !skipped)
     invariants;
   {
@@ -352,9 +364,9 @@ let run_analysis ?limits ?(invariants = all_invariants) ?files (a : Analysis.t) 
     violations = !violations;
   }
 
-let run ?limits ?invariants ~name files =
-  let a = Analysis.analyze ?limits ~name files in
-  run_analysis ?limits ?invariants ~files a
+let run ?limits ?cancel ?faults ?invariants ~name files =
+  let a = Analysis.analyze ?limits ?cancel ?faults ~name files in
+  run_analysis ?limits ?cancel ?faults ?invariants ~files a
 
 let violates ?limits ~invariant ~name files =
   match run ?limits ~invariants:[ invariant ] ~name files with
@@ -426,7 +438,7 @@ let render reports =
     (List.length reports) e w;
   Buffer.contents buf
 
-let to_json reports =
+let report_to_json (r : report) =
   let open Rd_util.Json in
   let violation v =
     Obj
@@ -437,28 +449,99 @@ let to_json reports =
         ("detail", String v.detail);
       ]
   in
-  let network (r : report) =
-    Obj
-      [
-        ("network", String r.network);
-        ("routers", Int r.routers);
-        ("instances", Int r.instances);
-        ("converged", Bool r.converged);
-        ("approx", Bool r.approx);
-        ("checked", List (List.map (fun s -> String s) r.checked));
-        ( "skipped",
-          List
-            (List.map
-               (fun (inv, reason) ->
-                 Obj [ ("invariant", String inv); ("reason", String reason) ])
-               r.skipped) );
-        ("violations", List (List.map violation r.violations));
-      ]
+  Obj
+    [
+      ("network", String r.network);
+      ("routers", Int r.routers);
+      ("instances", Int r.instances);
+      ("converged", Bool r.converged);
+      ("approx", Bool r.approx);
+      ("checked", List (List.map (fun s -> String s) r.checked));
+      ( "skipped",
+        List
+          (List.map
+             (fun (inv, reason) ->
+               Obj [ ("invariant", String inv); ("reason", String reason) ])
+             r.skipped) );
+      ("violations", List (List.map violation r.violations));
+    ]
+
+(* Inverse of {!report_to_json}, total: [None] on any shape mismatch —
+   the policy a checkpoint store demands (a stale or foreign entry must
+   read as a miss, never crash a resume). *)
+let report_of_json j =
+  let open Rd_util.Json in
+  let str = function Some (String s) -> Some s | _ -> None in
+  let int = function Some (Int i) -> Some i | _ -> None in
+  let bool = function Some (Bool b) -> Some b | _ -> None in
+  let list = function Some (List l) -> Some l | _ -> None in
+  let all_or_none xs = if List.exists Option.is_none xs then None else Some (List.map Option.get xs) in
+  let severity_of_string = function
+    | "error" -> Some Diag.Error
+    | "warning" -> Some Diag.Warning
+    | "info" -> Some Diag.Info
+    | _ -> None
   in
+  let violation v =
+    match
+      ( Option.bind (str (member "severity" v)) severity_of_string,
+        str (member "invariant" v),
+        str (member "subject" v),
+        str (member "detail" v) )
+    with
+    | Some severity, Some invariant, Some subject, Some detail ->
+      Some { severity; invariant; subject; detail }
+    | _ -> None
+  in
+  let skip s =
+    match (str (member "invariant" s), str (member "reason" s)) with
+    | Some inv, Some reason -> Some (inv, reason)
+    | _ -> None
+  in
+  match
+    ( str (member "network" j),
+      int (member "routers" j),
+      int (member "instances" j),
+      bool (member "converged" j),
+      bool (member "approx" j) )
+  with
+  | Some network, Some routers, Some instances, Some converged, Some approx ->
+    Option.bind
+      (list (member "checked" j))
+      (fun checked ->
+        Option.bind
+          (all_or_none (List.map (fun c -> str (Some c)) checked))
+          (fun checked ->
+            Option.bind
+              (list (member "skipped" j))
+              (fun skipped ->
+                Option.bind
+                  (all_or_none (List.map skip skipped))
+                  (fun skipped ->
+                    Option.bind
+                      (list (member "violations" j))
+                      (fun violations ->
+                        Option.map
+                          (fun violations ->
+                            {
+                              network;
+                              routers;
+                              instances;
+                              converged;
+                              approx;
+                              checked;
+                              skipped;
+                              violations;
+                            })
+                          (all_or_none (List.map violation violations)))))))
+  | _ -> None
+
+let to_json reports =
+  let open Rd_util.Json in
   let e, w = severity_counts reports in
   Obj
     [
-      ("networks", List (List.map network reports));
+      ("networks", List (List.map report_to_json reports));
       ("errors", Int e);
       ("warnings", Int w);
     ]

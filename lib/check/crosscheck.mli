@@ -44,6 +44,8 @@ val all_invariants : string list
 
 val run_analysis :
   ?limits:Rd_util.Limits.t ->
+  ?cancel:Rd_util.Cancel.t ->
+  ?faults:Rd_util.Fault.t ->
   ?invariants:string list ->
   ?files:(string * string) list ->
   Rd_core.Analysis.t ->
@@ -52,10 +54,20 @@ val run_analysis :
     catalogue (default: all).  [files] supplies the raw configuration
     texts; without them the [anonymize-structure] invariant (which must
     re-anonymize and re-parse the text) is skipped with a reason.
-    [limits] bounds both fixpoints and the simulation rounds. *)
+    [limits] bounds both fixpoints and the simulation rounds.  [cancel]
+    is polled on entry (site ["crosscheck.network"]), between
+    invariants (site ["crosscheck.invariant"]) and inside every
+    fixpoint and simulation driven by the oracle, so a per-network
+    deadline stops the whole oracle within one generation; a
+    cancellation mid-simulation degrades that invariant to a skip
+    before the next poll raises.  [faults] arms the
+    ["crosscheck.network"] site (key = network name) on entry — the
+    chaos handle for delaying or killing one network's oracle. *)
 
 val run :
   ?limits:Rd_util.Limits.t ->
+  ?cancel:Rd_util.Cancel.t ->
+  ?faults:Rd_util.Fault.t ->
   ?invariants:string list ->
   name:string ->
   (string * string) list ->
@@ -76,6 +88,14 @@ val has_errors : report list -> bool
 val render : report list -> string
 (** Per-network summary table followed by one line per violation and
     per skipped invariant. *)
+
+val report_to_json : report -> Rd_util.Json.t
+(** One network's report as JSON — the payload format of a crosscheck
+    checkpoint entry. *)
+
+val report_of_json : Rd_util.Json.t -> report option
+(** Inverse of {!report_to_json}; [None] on any shape mismatch, so a
+    stale or foreign checkpoint entry reads as a miss, never a crash. *)
 
 val to_json : report list -> Rd_util.Json.t
 (** Machine-readable form: [{networks: [...], errors: n, warnings: n}],

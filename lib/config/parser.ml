@@ -591,12 +591,21 @@ let record_metrics metrics (ast : Ast.t) diags =
       diags;
     Hashtbl.iter (fun code n -> Rd_util.Metrics.incr metrics ~by:n ("diag." ^ code)) per_code
 
-let parse_with_diags ?file ?metrics text =
+let parse_with_diags ?file ?metrics ?cancel text =
   let st = fresh ?file () in
   let lines = Lexer.lines_of_string text in
   let mode = ref Top in
+  (* Poll the cancel token every few hundred lines: cheap enough to be
+     invisible on real configs, frequent enough that even a single
+     giant file stops within milliseconds of a deadline. *)
+  let countdown = ref 0 in
   List.iter
     (fun (l : Lexer.line) ->
+      decr countdown;
+      if !countdown <= 0 then begin
+        countdown := 256;
+        Rd_util.Cancel.check ~site:"parse.lines" cancel
+      end;
       if l.indent = 0 then begin
         finish_mode st !mode;
         mode := top_level st l

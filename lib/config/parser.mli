@@ -11,7 +11,8 @@ val parse : string -> Ast.t
     malformed arguments of known commands demote the line to [unknown]. *)
 
 val parse_with_diags :
-  ?file:string -> ?metrics:Rd_util.Metrics.t -> string -> Ast.t * Diag.t list
+  ?file:string -> ?metrics:Rd_util.Metrics.t -> ?cancel:Rd_util.Cancel.t ->
+  string -> Ast.t * Diag.t list
 (** Like {!parse}, but also returns the diagnostics the parser produced:
     every line that lands in [Ast.unknown] comes back as a coded, located
     diagnostic.  Unmodelled commands report as [Warning]

@@ -22,13 +22,16 @@ let network_span ?trace ~name f =
     ~args:[ ("network", Rd_util.Trace.String name) ]
     trace "analyze" f
 
-let run_stages ?trace ?metrics ?faults ?(limits = Rd_util.Limits.default) ~diags ~name
-    configs =
+let run_stages ?trace ?metrics ?faults ?cancel ?(limits = Rd_util.Limits.default) ~diags
+    ~name configs =
   (* Each stage doubles as a fault site (key = network name) so the chaos
-     suite can kill exactly one network's analysis mid-pipeline. *)
+     suite can kill exactly one network's analysis mid-pipeline; the
+     cancel poll at the same boundary stops a deadline-struck analysis
+     between stages. *)
   let stage n f =
     stage ?trace ~network:name n (fun () ->
         Rd_util.Fault.fault_point faults ~site:("analysis." ^ n) ~key:name;
+        Rd_util.Cancel.check ~site:("analysis." ^ n) cancel;
         f ())
   in
   let topo = stage "topology" (fun () -> Rd_topo.Topology.build configs) in
@@ -58,9 +61,9 @@ let run_stages ?trace ?metrics ?faults ?(limits = Rd_util.Limits.default) ~diags
   Rd_util.Metrics.incr metrics ~by:(Array.length topo.routers) "analysis.routers";
   { name; configs; topo; catalog; graph; blocks; filter_stats; diags }
 
-let analyze_asts ?trace ?metrics ?faults ?limits ?(diags = []) ~name configs =
+let analyze_asts ?trace ?metrics ?faults ?cancel ?limits ?(diags = []) ~name configs =
   network_span ?trace ~name (fun () ->
-      run_stages ?trace ?metrics ?faults ?limits ~diags ~name configs)
+      run_stages ?trace ?metrics ?faults ?cancel ?limits ~diags ~name configs)
 
 let drop_diag file (fl : Rd_util.Pool.failure) =
   let code =
@@ -71,7 +74,8 @@ let drop_diag file (fl : Rd_util.Pool.failure) =
   Rd_config.Diag.make ~file Rd_config.Diag.Error ~code
     (Printf.sprintf "configuration dropped: %s" (Printexc.to_string fl.exn))
 
-let analyze ?trace ?metrics ?jobs ?faults ?(limits = Rd_util.Limits.default) ~name files =
+let analyze ?trace ?metrics ?jobs ?faults ?cancel ?(limits = Rd_util.Limits.default) ~name
+    files =
   network_span ?trace ~name (fun () ->
       let parsed =
         stage ?trace ~network:name "parse" (fun () ->
@@ -79,13 +83,20 @@ let analyze ?trace ?metrics ?jobs ?faults ?(limits = Rd_util.Limits.default) ~na
               (fun (f, text) ->
                 let key = name ^ "/" ^ f in
                 Rd_util.Fault.fault_point faults ~site:"parse.file" ~key;
+                Rd_util.Cancel.check ~site:"parse.file" cancel;
                 Rd_util.Limits.check ~site:"parse.config-bytes"
                   ~budget:limits.max_config_bytes (String.length text);
                 let text = Rd_util.Fault.corrupt faults ~site:"parse.bytes" ~key text in
-                let ast, ds = Rd_config.Parser.parse_with_diags ?metrics ~file:f text in
+                let ast, ds =
+                  Rd_config.Parser.parse_with_diags ?metrics ?cancel ~file:f text
+                in
                 ((f, ast), ds))
               files)
       in
+      (* A timed-out parse is a network-level event, not a per-file
+         drop: the token stays tripped, so re-raise here and let the
+         network's supervisor record the degradation. *)
+      Rd_util.Cancel.check ~site:"parse.file" cancel;
       (* A file whose parse task failed (oversized, or chaos-killed) is
          dropped from the network rather than aborting it; the drop is
          recorded as a coded diagnostic on that file. *)
@@ -99,7 +110,7 @@ let analyze ?trace ?metrics ?jobs ?faults ?(limits = Rd_util.Limits.default) ~na
       let keep = List.rev keep and dropped = List.rev dropped in
       let asts = List.map fst keep in
       let diags = List.concat_map snd keep @ dropped in
-      run_stages ?trace ?metrics ?faults ~limits ~diags ~name asts)
+      run_stages ?trace ?metrics ?faults ?cancel ~limits ~diags ~name asts)
 
 let router_count t = Array.length t.topo.routers
 

@@ -20,7 +20,7 @@ type t = {
 
 val analyze :
   ?trace:Rd_util.Trace.t -> ?metrics:Rd_util.Metrics.t -> ?jobs:int ->
-  ?faults:Rd_util.Fault.t -> ?limits:Rd_util.Limits.t ->
+  ?faults:Rd_util.Fault.t -> ?cancel:Rd_util.Cancel.t -> ?limits:Rd_util.Limits.t ->
   name:string -> (string * string) list -> t
 (** [analyze ~name files] where [files] are (file name, raw configuration
     text) pairs.  Parsing fans out across [jobs] pool workers (default
@@ -53,7 +53,7 @@ val analyze :
 
 val analyze_asts :
   ?trace:Rd_util.Trace.t -> ?metrics:Rd_util.Metrics.t ->
-  ?faults:Rd_util.Fault.t -> ?limits:Rd_util.Limits.t ->
+  ?faults:Rd_util.Fault.t -> ?cancel:Rd_util.Cancel.t -> ?limits:Rd_util.Limits.t ->
   ?diags:Rd_config.Diag.t list ->
   name:string -> (string * Rd_config.Ast.t) list -> t
 (** Entry point when configurations are already parsed; [diags] carries

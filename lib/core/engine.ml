@@ -13,6 +13,7 @@ let sim_version = 1
 type t = {
   metrics : Rd_util.Metrics.t option;
   trace : Rd_util.Trace.t option;
+  cancel : Rd_util.Cancel.t option;
   parses : ((string * Rd_config.Ast.t) * Rd_config.Diag.t list) Cache.t;
   analyses : Analysis.t Cache.t;
   reaches : Rd_reach.Reachability.t Cache.t;
@@ -20,7 +21,7 @@ type t = {
   sims : Rd_sim.Propagate.t Cache.t;
 }
 
-let create ?metrics ?trace ?capacity () =
+let create ?metrics ?trace ?cancel ?capacity () =
   let cache name = Cache.create ?capacity ~name () in
   (* Parsed ASTs are small and numerous (one per router, hundreds per
      large network); a store sized for whole-network artifacts would
@@ -30,6 +31,7 @@ let create ?metrics ?trace ?capacity () =
   {
     metrics;
     trace;
+    cancel;
     parses = Cache.create ~capacity:parse_capacity ~name:"parse" ();
     analyses = cache "analysis";
     reaches = cache "reach";
@@ -39,6 +41,7 @@ let create ?metrics ?trace ?capacity () =
 
 let metrics t = t.metrics
 let trace t = t.trace
+let with_cancel t cancel = { t with cancel }
 
 let memo t cache k f =
   Cache.find_or_add ?metrics:t.metrics ?trace:t.trace cache k f
@@ -60,12 +63,13 @@ let load t ~name files =
             (fun (f, text) ->
               memo t t.parses (file_key f text) (fun () ->
                   let ast, ds =
-                    Rd_config.Parser.parse_with_diags ?metrics:t.metrics ~file:f text
+                    Rd_config.Parser.parse_with_diags ?metrics:t.metrics ?cancel:t.cancel
+                      ~file:f text
                   in
                   ((f, ast), ds)))
             files
         in
-        Analysis.analyze_asts ?trace:t.trace ?metrics:t.metrics
+        Analysis.analyze_asts ?trace:t.trace ?metrics:t.metrics ?cancel:t.cancel
           ~diags:(List.concat_map snd parsed)
           ~name (List.map fst parsed))
   in
@@ -80,7 +84,8 @@ let reach_key ~of_key offers =
 
 let reachability ?(external_offers = Prefix_set.full) t net =
   memo t t.reaches (reach_key ~of_key:net.key external_offers) (fun () ->
-      Rd_reach.Reachability.compute ?metrics:t.metrics ~external_offers net.analysis.graph)
+      Rd_reach.Reachability.compute ?metrics:t.metrics ?cancel:t.cancel ~external_offers
+        net.analysis.graph)
 
 let propagate ?(external_prefixes = [ Prefix.default ]) t net =
   let k =
@@ -88,7 +93,7 @@ let propagate ?(external_prefixes = [ Prefix.default ]) t net =
       (Cache.hex net.key :: List.map Prefix.to_string external_prefixes)
   in
   memo t t.sims k (fun () ->
-      Rd_sim.Propagate.run ?metrics:t.metrics ~external_prefixes
+      Rd_sim.Propagate.run ?metrics:t.metrics ?cancel:t.cancel ~external_prefixes
         (Rd_routing.Process_graph.build net.analysis.catalog))
 
 type outcome = {
@@ -116,7 +121,7 @@ let run_scenario t net (scenario : Whatif.scenario) =
     memo t t.reaches
       (reach_key ~of_key:dkey Prefix_set.empty)
       (fun () ->
-        Rd_reach.Reachability.compute_delta ?metrics:t.metrics
+        Rd_reach.Reachability.compute_delta ?metrics:t.metrics ?cancel:t.cancel
           ~external_offers:Prefix_set.empty ~previous:rb d.analysis.graph)
   in
   let diff =

@@ -37,14 +37,24 @@ type t
     independently; misses compute outside the locks). *)
 
 val create :
-  ?metrics:Rd_util.Metrics.t -> ?trace:Rd_util.Trace.t -> ?capacity:int ->
-  unit -> t
+  ?metrics:Rd_util.Metrics.t -> ?trace:Rd_util.Trace.t -> ?cancel:Rd_util.Cancel.t ->
+  ?capacity:int -> unit -> t
 (** A fresh engine with empty stores.  [capacity] bounds each store
-    (default {!Rd_util.Cache.create}'s 256 entries). *)
+    (default {!Rd_util.Cache.create}'s 256 entries).  [cancel] is
+    threaded into every fixpoint, simulation and parse the engine
+    drives, so a deadline or SIGINT stops an in-flight scenario at its
+    next poll point (cached probes are unaffected — a warm engine can
+    still serve hits after cancellation). *)
 
 val metrics : t -> Rd_util.Metrics.t option
 
 val trace : t -> Rd_util.Trace.t option
+
+val with_cancel : t -> Rd_util.Cancel.t option -> t
+(** The same engine — sharing every store and observability sink —
+    under a different cancellation token.  A sweep uses this to give
+    each network its own per-task deadline while keeping one warm cache
+    family. *)
 
 type network = {
   name : string;

@@ -187,7 +187,7 @@ let finish ?metrics ~stats0 ~external_offers g origins routes iterations =
    fault/budget hooks exactly like one round of the legacy sweep, so
    fault plans and [max_fixpoint_iterations] budgets keep their observable
    meaning (budget 0 still raises before any edge is processed). *)
-let compute ?metrics ?faults ?(limits = Rd_util.Limits.default)
+let compute ?metrics ?faults ?cancel ?(limits = Rd_util.Limits.default)
     ?(external_offers = Prefix_set.full) (g : Instance_graph.t) =
   let stats0 = Prefix_set.stats () in
   let origins = origins_bulk g in
@@ -229,6 +229,7 @@ let compute ?metrics ?faults ?(limits = Rd_util.Limits.default)
   let generation work =
     incr iterations;
     Rd_util.Fault.fault_point faults ~site:fixpoint_site;
+    Rd_util.Cancel.check ~site:fixpoint_site cancel;
     Rd_util.Limits.check ~site:fixpoint_site ~budget:limits.max_fixpoint_iterations
       !iterations;
     work ()
@@ -262,7 +263,7 @@ let compute ?metrics ?faults ?(limits = Rd_util.Limits.default)
    — the regression suite checks [compute] against it on all studied
    networks, and the bench harness measures the worklist speedup with the
    same workload. *)
-let compute_rounds ?(limits = Rd_util.Limits.default)
+let compute_rounds ?cancel ?(limits = Rd_util.Limits.default)
     ?(external_offers = Prefix_set.full) (g : Instance_graph.t) =
   let stats0 = Prefix_set.stats () in
   let origins = origins_bulk g in
@@ -272,6 +273,7 @@ let compute_rounds ?(limits = Rd_util.Limits.default)
   while !changed do
     changed := false;
     incr iterations;
+    Rd_util.Cancel.check ~site:fixpoint_site cancel;
     Rd_util.Limits.check ~site:fixpoint_site ~budget:limits.max_fixpoint_iterations
       !iterations;
     List.iter
@@ -362,12 +364,12 @@ let profile_matches mapping old_list new_list =
    exactly, and restarting the worklist with dirty instances at their
    seeds converges to the same least fixpoint as a from-scratch
    [compute] (DESIGN.md §14). *)
-let compute_delta ?metrics ?faults ?(limits = Rd_util.Limits.default)
+let compute_delta ?metrics ?faults ?cancel ?(limits = Rd_util.Limits.default)
     ?(external_offers = Prefix_set.full) ~(previous : t) (g : Instance_graph.t) =
   if not (Prefix_set.equal external_offers previous.external_offers) then
     (* The previous solution was computed under a different external
        offer; nothing can be carried over. *)
-    compute ?metrics ?faults ~limits ~external_offers g
+    compute ?metrics ?faults ?cancel ~limits ~external_offers g
   else begin
     let stats0 = Prefix_set.stats () in
     let og = previous.graph in
@@ -469,6 +471,7 @@ let compute_delta ?metrics ?faults ?(limits = Rd_util.Limits.default)
     let generation work =
       incr iterations;
       Rd_util.Fault.fault_point faults ~site:fixpoint_site;
+      Rd_util.Cancel.check ~site:fixpoint_site cancel;
       Rd_util.Limits.check ~site:fixpoint_site ~budget:limits.max_fixpoint_iterations
         !iterations;
       work ()

@@ -29,7 +29,8 @@ type t = {
 }
 
 val compute :
-  ?metrics:Rd_util.Metrics.t -> ?faults:Rd_util.Fault.t -> ?limits:Rd_util.Limits.t ->
+  ?metrics:Rd_util.Metrics.t -> ?faults:Rd_util.Fault.t -> ?cancel:Rd_util.Cancel.t ->
+  ?limits:Rd_util.Limits.t ->
   ?external_offers:Prefix_set.t -> Rd_routing.Instance_graph.t -> t
 (** Worklist fixpoint: keeps a frontier of instances whose route set
     changed and only pushes along their outgoing edges (indexed once per
@@ -52,17 +53,21 @@ val compute :
     {!Rd_util.Limits.Budget_exceeded} with site ["reach.fixpoint"]
     instead of spinning.  [faults] arms the same-named {!Rd_util.Fault}
     site, visited once per generation — a budget of 0 raises before any
-    edge is processed, exactly like the legacy sweep. *)
+    edge is processed, exactly like the legacy sweep.  [cancel] is
+    polled at the same per-generation point: a tripped token raises
+    {!Rd_util.Cancel.Cancelled} with site ["reach.fixpoint"] within one
+    generation of the trip. *)
 
 val compute_rounds :
-  ?limits:Rd_util.Limits.t -> ?external_offers:Prefix_set.t ->
+  ?cancel:Rd_util.Cancel.t -> ?limits:Rd_util.Limits.t -> ?external_offers:Prefix_set.t ->
   Rd_routing.Instance_graph.t -> t
 (** The legacy fixpoint: sweep every edge in rounds until a round changes
     nothing.  Retained as executable reference semantics for {!compute}
     (regression tests, bench baseline); prefer {!compute}. *)
 
 val compute_delta :
-  ?metrics:Rd_util.Metrics.t -> ?faults:Rd_util.Fault.t -> ?limits:Rd_util.Limits.t ->
+  ?metrics:Rd_util.Metrics.t -> ?faults:Rd_util.Fault.t -> ?cancel:Rd_util.Cancel.t ->
+  ?limits:Rd_util.Limits.t ->
   ?external_offers:Prefix_set.t -> previous:t -> Rd_routing.Instance_graph.t -> t
 (** Incremental fixpoint: recompute reachability for a new build of the
     network (typically after a what-if configuration delta), restarting the worklist from only the {e dirtied} frontier

@@ -97,7 +97,7 @@ let local_rib_of (cfg : Ast.t) =
     cfg.statics;
   !rib
 
-let run ?metrics ?faults ?(limits = Rd_util.Limits.default)
+let run ?metrics ?faults ?cancel ?(limits = Rd_util.Limits.default)
     ?(external_prefixes = [ Prefix.default ]) (graph : Process_graph.t) =
   (* Batched observability counters, flushed to the registry once at the
      end of the run (per-route registry updates would dominate). *)
@@ -362,7 +362,14 @@ let run ?metrics ?faults ?(limits = Rd_util.Limits.default)
       catalog.processes
   in
   let redist_edges = Process_graph.redistribution_edges graph in
-  while !changed && !iterations < limits.max_propagate_iterations do
+  (* The cancel poll is the non-raising kind: a tripped token exits the
+     round loop exactly like an exhausted round budget, so the caller
+     still gets the partial RIBs with [converged = false]. *)
+  while
+    !changed
+    && !iterations < limits.max_propagate_iterations
+    && not (Rd_util.Cancel.cancelled cancel)
+  do
     changed := false;
     incr iterations;
     Rd_util.Fault.fault_point faults ~site:"propagate.fixpoint";

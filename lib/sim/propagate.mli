@@ -25,7 +25,8 @@ type t = {
 }
 
 val run :
-  ?metrics:Rd_util.Metrics.t -> ?faults:Rd_util.Fault.t -> ?limits:Rd_util.Limits.t ->
+  ?metrics:Rd_util.Metrics.t -> ?faults:Rd_util.Fault.t -> ?cancel:Rd_util.Cancel.t ->
+  ?limits:Rd_util.Limits.t ->
   ?external_prefixes:Prefix.t list -> Rd_routing.Process_graph.t -> t
 (** [external_prefixes] simulates the routes offered by external peers on
     every external BGP peering and IGP edge link (default: a single
@@ -37,7 +38,10 @@ val run :
 
     Rounds are budgeted by [limits.max_propagate_iterations] (default
     {!Rd_util.Limits.default}, the historical cap of 100): hitting the
-    budget degrades to [converged = false] instead of spinning.  [faults]
+    budget degrades to [converged = false] instead of spinning.  [cancel]
+    is polled once per round with the same degrade-don't-raise
+    discipline — a deadline mid-simulation yields the partial RIBs with
+    [converged = false], never an escaping exception.  [faults]
     arms the ["propagate.fixpoint"] {!Rd_util.Fault} site, visited once
     per round. *)
 

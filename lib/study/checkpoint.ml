@@ -1,0 +1,29 @@
+type t = { store : Rd_util.Store.t }
+
+let open_dir ?metrics dir = { store = Rd_util.Store.open_dir ?metrics dir }
+
+let key ~stage ?(salt = []) (s : Population.spec) =
+  Rd_util.Cache.raw
+    (Rd_util.Cache.key ~stage ~version:1
+       ([
+          string_of_int s.net_id;
+          s.label;
+          Rd_gen.Archetype.to_string s.arch;
+          string_of_int s.n;
+          string_of_bool s.use_bgp;
+          string_of_bool s.use_filters;
+          string_of_int s.seed;
+        ]
+       @ salt))
+
+let find t k =
+  match Rd_util.Store.find t.store k with
+  | None -> None
+  | Some payload -> (
+    (* The frame's digest already verified the bytes; a parse failure
+       here means a foreign or stale payload — a miss, not an error. *)
+    match Rd_util.Json.of_string payload with Ok j -> Some j | Error _ -> None)
+
+let save t k json = Rd_util.Store.add t.store k (Rd_util.Json.to_string json)
+let store t = t.store
+let render_stats t = Rd_util.Store.render_stats t.store

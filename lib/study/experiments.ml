@@ -62,14 +62,19 @@ let fig8 ~master_seed (nets : Population.network list) =
 
 (* -------------------------------------------------------------- table 1 *)
 
-let table1 (nets : Population.network list) =
+(* The [*_stats] variants consume checkpointable {!Netstat.t} digests;
+   the legacy network-list entry points are wrappers, so a resumed
+   (checkpoint-replayed) study renders byte-identically by
+   construction. *)
+
+let table1_stats (stats : Netstat.t list) =
   let buf = Buffer.create 1024 in
   heading buf "Table 1: protocol instances performing intra- or inter-domain routing"
     "OSPF 9624/1161, EIGRP 12741/156, RIP 1342/161 (instances); EBGP 1490 intra / 13830 inter (sessions); ~90% conventional";
   let total =
     List.fold_left
-      (fun acc (n : Population.network) -> Rd_core.Roles.add acc (Rd_core.Roles.count n.analysis))
-      Rd_core.Roles.zero nets
+      (fun acc (s : Netstat.t) -> Rd_core.Roles.add acc s.roles)
+      Rd_core.Roles.zero stats
   in
   let row name (intra, inter) =
     [ name; string_of_int intra; string_of_int inter ]
@@ -87,25 +92,31 @@ let table1 (nets : Population.network list) =
   let igp_frac, ebgp_frac = Rd_core.Roles.total_conventional_fraction total in
   bprintf buf "\nconventional roles: %.1f%% of IGP instances intra, %.1f%% of EBGP sessions inter\n"
     (100.0 *. igp_frac) (100.0 *. ebgp_frac);
-  let no_bgp = List.length (List.filter (fun (n : Population.network) -> not (Rd_core.Roles.uses_bgp n.analysis)) nets) in
+  let no_bgp = List.length (List.filter (fun (s : Netstat.t) -> not s.uses_bgp) stats) in
   bprintf buf "networks without BGP: %d (paper: 3)\n" no_bgp;
   Buffer.contents buf
 
+let table1 nets = table1_stats (List.map Netstat.of_network nets)
+
 (* -------------------------------------------------------------- table 3 *)
 
-let table3 (nets : Population.network list) =
+let table3_stats (stats : Netstat.t list) =
   let buf = Buffer.create 1024 in
   heading buf "Table 3: interface-type census"
     "96,487 interfaces; Serial 53,337 > FastEthernet 20,420 > ATM 6,242 > POS 3,937 > Ethernet 3,685 > Hssi > GigE > ...";
+  (* Decoded [Itype.t] keys hash and compare structurally identically to
+     the originals, and census order is preserved by the codec, so the
+     Hashtbl fold (and hence tie-breaking in the sort below) matches a
+     fresh run exactly. *)
   let counts = Hashtbl.create 32 in
   List.iter
-    (fun (n : Population.network) ->
+    (fun (s : Netstat.t) ->
       List.iter
         (fun (ty, c) ->
           let cur = try Hashtbl.find counts ty with Not_found -> 0 in
           Hashtbl.replace counts ty (cur + c))
-        (Rd_topo.Topology.interface_census n.analysis.topo))
-    nets;
+        s.census)
+    stats;
   let all = Hashtbl.fold (fun ty c acc -> (ty, c) :: acc) counts [] in
   (* The paper's table does not list loopback or VLAN interfaces. *)
   let shown, hidden =
@@ -124,19 +135,16 @@ let table3 (nets : Population.network list) =
     bprintf buf "(plus %d loopback/VLAN interfaces, which the paper's table omits)\n" hidden_total;
   Buffer.contents buf
 
+let table3 nets = table3_stats (List.map Netstat.of_network nets)
+
 (* --------------------------------------------------------------- fig 11 *)
 
-let fig11 (nets : Population.network list) =
+let fig11_stats (stats : Netstat.t list) =
   let buf = Buffer.create 1024 in
   heading buf "Figure 11: CDF of % packet-filter rules on internal links"
     ">30% of filtered networks apply >=40% of their rules internally; 3 networks define no filters";
-  let percents =
-    List.filter_map
-      (fun (n : Population.network) ->
-        Rd_policy.Filter_stats.internal_percentage n.analysis.filter_stats)
-      nets
-  in
-  let no_filters = List.length nets - List.length percents in
+  let percents = List.filter_map (fun (s : Netstat.t) -> s.filter_internal_pct) stats in
+  let no_filters = List.length stats - List.length percents in
   bprintf buf "networks with filters: %d (without: %d)\n" (List.length percents) no_filters;
   let cdf = Cdf.of_samples percents in
   let at40 = 1.0 -. Cdf.eval cdf 39.999 in
@@ -144,26 +152,20 @@ let fig11 (nets : Population.network list) =
   bprintf buf "%s" (Cdf.plot ~x_label:"% of filter rules on internal links" cdf);
   Buffer.contents buf
 
+let fig11 nets = fig11_stats (List.map Netstat.of_network nets)
+
 (* ---------------------------------------------------------------- sec 7 *)
 
-let sec7 (nets : Population.network list) =
+let sec7_stats (nstats : Netstat.t list) =
   let buf = Buffer.create 1024 in
   heading buf "Section 7: routing design classification"
     "4 backbones (400-600 routers, mean 540); 7 textbook enterprises (19-101); 20 unclassifiable (4-1750, median 36, four larger than the largest backbone)";
-  let classified =
-    List.map
-      (fun (n : Population.network) ->
-        (n, (Rd_core.Design_class.classify n.analysis).design))
-      nets
-  in
-  let of_design d =
-    List.filter_map (fun (n, d') -> if d = d' then Some n else None) classified
-  in
-  let stats label nets' =
-    let sizes = List.map (fun (n : Population.network) -> n.spec.n) nets' in
+  let of_design d = List.filter (fun (s : Netstat.t) -> s.design = d) nstats in
+  let row_stats label stats' =
+    let sizes = List.map (fun (s : Netstat.t) -> s.routers) stats' in
     [
       label;
-      string_of_int (List.length nets');
+      string_of_int (List.length stats');
       (match sizes with
        | [] -> "-"
        | _ -> Printf.sprintf "%d-%d" (Stat.imin sizes) (Stat.imax sizes));
@@ -176,41 +178,32 @@ let sec7 (nets : Population.network list) =
        ~headers:[ "design"; "networks"; "size range"; "mean"; "median" ]
        ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ]
        [
-         stats "backbone" (of_design Rd_core.Design_class.Backbone);
-         stats "enterprise" (of_design Rd_core.Design_class.Enterprise);
-         stats "unclassifiable" (of_design Rd_core.Design_class.Unclassifiable);
+         row_stats "backbone" (of_design Rd_core.Design_class.Backbone);
+         row_stats "enterprise" (of_design Rd_core.Design_class.Enterprise);
+         row_stats "unclassifiable" (of_design Rd_core.Design_class.Unclassifiable);
        ]);
   let backbone_max =
     List.fold_left max 0
-      (List.map (fun (n : Population.network) -> n.spec.n) (of_design Rd_core.Design_class.Backbone))
+      (List.map (fun (s : Netstat.t) -> s.routers) (of_design Rd_core.Design_class.Backbone))
   in
   let larger =
     List.filter
-      (fun (n : Population.network) -> n.spec.n > backbone_max)
+      (fun (s : Netstat.t) -> s.routers > backbone_max)
       (of_design Rd_core.Design_class.Unclassifiable)
   in
   bprintf buf "\nunclassifiable networks larger than the largest backbone: %s (paper: 760, 890, 1430, 1750)\n"
     (String.concat ", "
-       (List.sort compare (List.map (fun (n : Population.network) -> string_of_int n.spec.n) larger)));
+       (List.sort compare (List.map (fun (s : Netstat.t) -> string_of_int s.routers) larger)));
   (* §7.1's redistribution diversity: how many networks push BGP-learned
      routes into an IGP (the paper found 17 of 31) *)
   let bgp_into_igp =
-    List.length
-      (List.filter
-         (fun (n : Population.network) ->
-           (Rd_core.Design_class.classify n.analysis).bgp_into_igp)
-         nets)
+    List.length (List.filter (fun (s : Netstat.t) -> s.bgp_into_igp) nstats)
   in
   bprintf buf "\nnetworks redistributing BGP-learned routes into an IGP: %d (paper: 17)\n"
     bgp_into_igp;
   (* IBGP mesh completeness across multi-router BGP instances *)
   let completeness =
-    List.concat_map
-      (fun (n : Population.network) ->
-        Array.to_list n.analysis.graph.assignment.instances
-        |> List.filter_map (fun (i : Rd_routing.Instance.t) ->
-             Rd_routing.Instance_graph.ibgp_mesh_completeness n.analysis.graph i.inst_id))
-      nets
+    List.concat_map (fun (s : Netstat.t) -> s.ibgp_completeness) nstats
   in
   if completeness <> [] then
     bprintf buf
@@ -220,13 +213,13 @@ let sec7 (nets : Population.network list) =
       (List.fold_left max 0.0 completeness);
   bprintf buf "\nper-network verdicts:\n";
   List.iter
-    (fun ((n : Population.network), d) ->
-      bprintf buf "  %-7s %-12s %5d routers -> %s\n" n.spec.label
-        (Rd_gen.Archetype.to_string n.spec.arch)
-        n.spec.n
-        (Rd_core.Design_class.design_to_string d))
-    classified;
+    (fun (s : Netstat.t) ->
+      bprintf buf "  %-7s %-12s %5d routers -> %s\n" s.label s.arch s.routers
+        (Rd_core.Design_class.design_to_string s.design))
+    nstats;
   Buffer.contents buf
+
+let sec7 nets = sec7_stats (List.map Netstat.of_network nets)
 
 (* ----------------------------------------------------------- net5 case *)
 
@@ -588,14 +581,14 @@ let ablation_ospf_area (net : Population.network) =
     "(identical counts mean the network's areas are consistently configured;\n a divergence would reveal area-mismatch misconfigurations)\n";
   Buffer.contents buf
 
-let crosscheck ?limits ?invariants (nets : Population.network list) =
+let crosscheck ?limits ?cancel ?faults ?invariants (nets : Population.network list) =
   let buf = Buffer.create 1024 in
   heading buf "Differential cross-check"
     "sim\xe2\x8a\x86static oracle and metamorphic invariants over the study population";
   let reports =
     List.map
       (fun (n : Population.network) ->
-        Rd_check.Crosscheck.run_analysis ?limits ?invariants
+        Rd_check.Crosscheck.run_analysis ?limits ?cancel ?faults ?invariants
           ~files:(Population.generate_one n.spec) n.analysis)
       nets
   in
@@ -634,9 +627,9 @@ let ablation_external (nets : Population.network list) =
 
 (* ------------------------------------------------------- what-if sweeps *)
 
-let default_scenarios (net : Population.network) =
+let scenarios_of_analysis (a : Rd_core.Analysis.t) =
   let open Rd_core.Whatif in
-  let t = net.analysis.topo in
+  let t = a.topo in
   let nr = Array.length t.routers in
   let scenarios = ref [] in
   let add label changes = scenarios := { label; changes } :: !scenarios in
@@ -656,31 +649,26 @@ let default_scenarios (net : Population.network) =
   end;
   List.rev !scenarios
 
-let whatif_sweep ?metrics ?trace (nets : Population.network list) =
+let default_scenarios (net : Population.network) = scenarios_of_analysis net.analysis
+
+let whatif_rows label outcomes =
+  List.map
+    (fun (o : Rd_core.Engine.outcome) ->
+      [
+        label;
+        o.scenario.label;
+        Printf.sprintf "%d->%d" o.diff.instances_before o.diff.instances_after;
+        string_of_int (List.length o.diff.split_instances);
+        string_of_int (List.length o.diff.lost_reachability);
+        string_of_int (List.length o.touched);
+        Printf.sprintf "%.3f" o.seconds;
+      ])
+    outcomes
+
+let render_whatif ~engine rows =
   let buf = Buffer.create 1024 in
   heading buf "What-if sweeps (incremental engine)"
     "§8.1 maintenance scenarios, cached baselines and delta-restarted fixpoints";
-  let engine = Rd_core.Engine.create ?metrics ?trace () in
-  let rows =
-    List.concat_map
-      (fun (n : Population.network) ->
-        let net =
-          Rd_core.Engine.load engine ~name:n.spec.label (Population.generate_one n.spec)
-        in
-        List.map
-          (fun (o : Rd_core.Engine.outcome) ->
-            [
-              n.spec.label;
-              o.scenario.label;
-              Printf.sprintf "%d->%d" o.diff.instances_before o.diff.instances_after;
-              string_of_int (List.length o.diff.split_instances);
-              string_of_int (List.length o.diff.lost_reachability);
-              string_of_int (List.length o.touched);
-              Printf.sprintf "%.3f" o.seconds;
-            ])
-          (Rd_core.Engine.run_scenarios engine net (default_scenarios n)))
-      nets
-  in
   Buffer.add_string buf
     (Table.render
        ~headers:
@@ -696,3 +684,17 @@ let whatif_sweep ?metrics ?trace (nets : Population.network list) =
   in
   bprintf buf "\ncache: %d hits, %d misses across the engine's stores\n" hits misses;
   Buffer.contents buf
+
+let whatif_sweep ?metrics ?trace (nets : Population.network list) =
+  let engine = Rd_core.Engine.create ?metrics ?trace () in
+  let rows =
+    List.concat_map
+      (fun (n : Population.network) ->
+        let net =
+          Rd_core.Engine.load engine ~name:n.spec.label (Population.generate_one n.spec)
+        in
+        whatif_rows n.spec.label
+          (Rd_core.Engine.run_scenarios engine net (default_scenarios n)))
+      nets
+  in
+  render_whatif ~engine rows

@@ -23,6 +23,16 @@ val fig11 : Population.network list -> string
 val sec7 : Population.network list -> string
 (** Design classification and size statistics (§7.1, §7.2). *)
 
+val table1_stats : Netstat.t list -> string
+val table3_stats : Netstat.t list -> string
+val fig11_stats : Netstat.t list -> string
+val sec7_stats : Netstat.t list -> string
+(** The same four aggregates over checkpointable {!Netstat.t} digests.
+    The network-list entry points above are thin wrappers
+    ([f nets = f_stats (List.map Netstat.of_network nets)]), so a
+    checkpoint-replayed study report is byte-identical to a fresh one by
+    construction. *)
+
 val net5_case : Population.network -> string
 (** The net5 case study: instance census, Figure 9/10 structure, the
     six-router redistribution cut (§5.1, §6.1). *)
@@ -41,8 +51,8 @@ val ablation_ospf_area : Population.network -> string
 (** Strict vs ignored OSPF area matching in adjacency computation. *)
 
 val crosscheck :
-  ?limits:Rd_util.Limits.t -> ?invariants:string list ->
-  Population.network list -> string
+  ?limits:Rd_util.Limits.t -> ?cancel:Rd_util.Cancel.t -> ?faults:Rd_util.Fault.t ->
+  ?invariants:string list -> Population.network list -> string
 (** Per-network cross-check records: the {!Rd_check.Crosscheck} report
     (sim⊆static oracle plus metamorphic invariants) over the study
     population, one row per network.  Regenerates each network's
@@ -63,6 +73,19 @@ val default_scenarios : Population.network -> Rd_core.Whatif.scenario list
     and shut one interface — derived from the network's own topology, so
     every study network gets applicable scenarios without a hand-written
     sweep file. *)
+
+val scenarios_of_analysis : Rd_core.Analysis.t -> Rd_core.Whatif.scenario list
+(** {!default_scenarios} from a bare analysis — what the checkpointing
+    what-if driver uses, since an engine-loaded network carries no
+    {!Population.spec}. *)
+
+val whatif_rows : string -> Rd_core.Engine.outcome list -> string list list
+(** One rendered sweep-table row per outcome, first column the network
+    label — the unit a what-if checkpoint entry stores. *)
+
+val render_whatif : engine:Rd_core.Engine.t -> string list list -> string
+(** The sweep report: heading, row table, and the engine's cache-totals
+    line. *)
 
 val whatif_sweep :
   ?metrics:Rd_util.Metrics.t -> ?trace:Rd_util.Trace.t ->

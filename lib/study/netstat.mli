@@ -1,0 +1,51 @@
+(** Per-network study digest — the checkpointable summary of one
+    analyzed network.
+
+    The study's per-network block and the population-wide aggregates
+    (Table 1, Table 3, Figure 11, §7) consume only a small projection of
+    a full {!Rd_core.Analysis.t}: the rendered summary, the role tallies,
+    the interface census, the filter-locality percentage and the design
+    classification.  A [Netstat.t] captures exactly that projection, so a
+    checkpointed network can be replayed into a byte-identical study
+    report without re-running (or even being able to re-run) the
+    analysis pipeline.
+
+    The JSON codec round-trips losslessly: floats are encoded as hex
+    float literals ([%h]), interface types via
+    {!Rd_topo.Itype.to_string}/{!Rd_topo.Itype.of_string} (equality on
+    [Itype.t] goes through [to_string], so decoded census keys behave
+    identically), and list orders are preserved — the property the
+    resume-equals-uninterrupted tests pin down. *)
+
+type t = {
+  label : string;  (** e.g. ["net5"]. *)
+  arch : string;  (** {!Rd_gen.Archetype.to_string} of the spec. *)
+  net_id : int;
+  routers : int;  (** the spec's router count. *)
+  summary : string;  (** {!Rd_core.Analysis.summary}, verbatim. *)
+  roles : Rd_core.Roles.counts;  (** Table 1 tallies. *)
+  uses_bgp : bool;
+  census : (Rd_topo.Itype.t * int) list;
+      (** {!Rd_topo.Topology.interface_census}, order preserved. *)
+  filter_internal_pct : float option;
+      (** {!Rd_policy.Filter_stats.internal_percentage}. *)
+  design : Rd_core.Design_class.design;
+  bgp_into_igp : bool;
+  ibgp_completeness : float list;
+      (** per multi-router BGP instance, in instance order. *)
+}
+
+val of_network : Population.network -> t
+(** Project a freshly built network down to its study digest. *)
+
+val render_block : t -> string
+(** The per-network block [rdna study] prints: the
+    ["--- netN (arch, N routers) ---"] header followed by the analysis
+    summary. *)
+
+val to_json : t -> Rd_util.Json.t
+(** Checkpoint payload encoding. *)
+
+val of_json : Rd_util.Json.t -> t option
+(** Inverse of {!to_json}; [None] on any shape mismatch (a stale or
+    foreign checkpoint entry must read as a miss, never crash). *)

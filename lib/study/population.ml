@@ -76,7 +76,7 @@ let generate_one spec =
 
 type network = { spec : spec; analysis : Rd_core.Analysis.t }
 
-let build_network ?trace ?metrics ?jobs ?faults ?limits spec =
+let build_network ?trace ?metrics ?jobs ?faults ?cancel ?limits spec =
   let files =
     Rd_util.Trace.span ~cat:"stage"
       ~args:[ ("network", Rd_util.Trace.String spec.label) ]
@@ -84,10 +84,12 @@ let build_network ?trace ?metrics ?jobs ?faults ?limits spec =
       (fun () -> generate_one spec)
   in
   Rd_util.Fault.fault_point faults ~site:"study.network" ~key:spec.label;
+  Rd_util.Cancel.check ~site:"study.network" cancel;
   {
     spec;
     analysis =
-      Rd_core.Analysis.analyze ?trace ?metrics ?jobs ?faults ?limits ~name:spec.label files;
+      Rd_core.Analysis.analyze ?trace ?metrics ?jobs ?faults ?cancel ?limits
+        ~name:spec.label files;
   }
 
 let wanted_specs ?only ~master_seed () =
@@ -107,12 +109,24 @@ let build ?only ?trace ?metrics ?jobs ?faults ?limits ~master_seed () =
 
 type failure = { spec : spec; failure : Rd_util.Pool.failure }
 
-let build_results ?only ?trace ?metrics ?faults ?limits ?(retries = 0) ?jobs ~master_seed
-    () =
+let build_results ?only ?trace ?metrics ?faults ?cancel ?task_timeout ?limits
+    ?(retries = 0) ?jobs ~master_seed () =
   let wanted = wanted_specs ?only ~master_seed () in
+  (* Each network gets its own child token so a [task_timeout] clocks
+     from the moment its build starts, while a process-level deadline
+     or SIGINT on [cancel] still reaches every child through the
+     chain. *)
+  let build spec =
+    let cancel =
+      match (cancel, task_timeout) with
+      | None, None -> None
+      | Some c, d -> Some (Rd_util.Cancel.child ?deadline:d c)
+      | None, (Some _ as d) -> Some (Rd_util.Cancel.create ?deadline:d ())
+    in
+    build_network ?trace ?metrics ?jobs ?faults ?cancel ?limits spec
+  in
   let results =
-    Rd_util.Pool.parallel_map_results ?jobs ?trace ?metrics ?faults ~retries
-      (build_network ?trace ?metrics ?jobs ?faults ?limits)
+    Rd_util.Pool.parallel_map_results ?jobs ?trace ?metrics ?faults ?cancel ~retries build
       wanted
   in
   List.map2

@@ -25,11 +25,17 @@ val specs : master_seed:int -> spec list
 val generate_one : spec -> (string * string) list
 (** Configuration files for one network. *)
 
+val wanted_specs : ?only:int list -> master_seed:int -> unit -> spec list
+(** The study specs restricted to [only] net ids (all 31 when omitted) —
+    the work list every study-population driver iterates in net-id
+    order. *)
+
 type network = { spec : spec; analysis : Rd_core.Analysis.t }
 
 val build_network :
   ?trace:Rd_util.Trace.t -> ?metrics:Rd_util.Metrics.t -> ?jobs:int ->
-  ?faults:Rd_util.Fault.t -> ?limits:Rd_util.Limits.t -> spec -> network
+  ?faults:Rd_util.Fault.t -> ?cancel:Rd_util.Cancel.t -> ?limits:Rd_util.Limits.t ->
+  spec -> network
 (** Generate, render to text, re-parse, analyze.  [trace] additionally
     records a [generate] stage span ahead of the analysis stages.
     [faults] arms the ["study.network"] site (key = the network label)
@@ -56,14 +62,21 @@ type failure = { spec : spec; failure : Rd_util.Pool.failure }
 
 val build_results :
   ?only:int list -> ?trace:Rd_util.Trace.t -> ?metrics:Rd_util.Metrics.t ->
-  ?faults:Rd_util.Fault.t -> ?limits:Rd_util.Limits.t -> ?retries:int -> ?jobs:int ->
+  ?faults:Rd_util.Fault.t -> ?cancel:Rd_util.Cancel.t -> ?task_timeout:float ->
+  ?limits:Rd_util.Limits.t -> ?retries:int -> ?jobs:int ->
   master_seed:int -> unit -> (network, failure) result list
 (** Supervised {!build}: every requested network yields [Ok] or a
     {!failure}; one bad network never aborts the other thirty (the
     default [rdna study] discipline).  Results stay in net-id order, and
     a zero-failure run is byte-identical to {!build}.  [retries]
     (default 0) re-runs a failed network up to that many extra times.
-    Each failure bumps the [network.degraded] metrics counter. *)
+    Each failure bumps the [network.degraded] metrics counter.
+
+    [cancel] is the run-level token: tripping it (deadline or SIGINT)
+    stops in-flight builds at their next poll and fails queued ones
+    fast, each as a [Timed_out] failure.  [task_timeout] additionally
+    derives a per-network child token whose budget clocks from that
+    network's build start — one slow network degrades alone. *)
 
 val partition : (network, failure) result list -> network list * failure list
 (** Split into (survivors, failures), both order-preserving. *)

@@ -88,6 +88,33 @@ let to_string = function
   | Vlan -> "Vlan"
   | Other s -> s
 
+(* Inverse of [to_string] on the known constructors; anything else is
+   [Other].  Since [equal]/[compare] go through [to_string], a decoded
+   value is indistinguishable from the original even for [Other]. *)
+let of_string = function
+  | "Serial" -> Serial
+  | "FastEthernet" -> FastEthernet
+  | "ATM" -> ATM
+  | "POS" -> POS
+  | "Ethernet" -> Ethernet
+  | "Hssi" -> Hssi
+  | "GigabitEthernet" -> GigabitEthernet
+  | "TokenRing" -> TokenRing
+  | "Dialer" -> Dialer
+  | "BRI" -> BRI
+  | "Tunnel" -> Tunnel
+  | "Port" -> Port_channel
+  | "Async" -> Async
+  | "Virtual" -> Virtual
+  | "Channel" -> Channel
+  | "CBR" -> CBR
+  | "Fddi" -> Fddi
+  | "Multilink" -> Multilink
+  | "Null" -> Null
+  | "Loopback" -> Loopback
+  | "Vlan" -> Vlan
+  | s -> Other s
+
 (* Table 3 order: ascending count in the paper. *)
 let all_known =
   [

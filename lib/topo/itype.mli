@@ -36,6 +36,12 @@ val to_string : t -> string
 (** Canonical display name (e.g. ["POS"], ["FastEthernet"]); [Other]
     prints its recovered name. *)
 
+val of_string : string -> t
+(** Inverse of {!to_string}: a canonical display name maps back to its
+    constructor, anything else to [Other].  Used by the study
+    checkpoint codec; because {!equal} compares display names, decoded
+    values behave identically to the originals. *)
+
 val all_known : t list
 (** Every constructor except [Other], in Table 3 display order. *)
 

@@ -20,24 +20,34 @@ let key ~stage ~version parts =
 let key_of_keys ~stage ~version keys = key ~stage ~version keys
 
 let hex = Sha1.to_hex
+let raw (k : key) : Store.key = k
+
+type 'a codec = { encode : 'a -> string; decode : string -> 'a option }
+
+(* [hot] is the second-chance bit: set on every lookup hit, cleared by
+   an eviction sweep.  An entry neither found nor inserted between two
+   sweeps is cold and gets evicted first. *)
+type 'a entry = { value : 'a; mutable hot : bool }
 
 type 'a t = {
   name : string;
   capacity : int;
   mutex : Mutex.t;
-  table : (key, 'a) Hashtbl.t;
+  table : (key, 'a entry) Hashtbl.t;
+  durable : (Store.t * 'a codec) option;
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
   mutable invalidations : int;
 }
 
-let create ?(capacity = 256) ~name () =
+let create ?(capacity = 256) ?durable ~name () =
   {
     name;
     capacity = max 1 capacity;
     mutex = Mutex.create ();
     table = Hashtbl.create 64;
+    durable;
     hits = 0;
     misses = 0;
     evictions = 0;
@@ -55,31 +65,86 @@ let counter c what = Printf.sprintf "cache.%s.%s" c.name what
 let set_entries metrics c =
   Metrics.set metrics (counter c "entries") (float_of_int (Hashtbl.length c.table))
 
+(* Segmented second-chance eviction: a capacity hit sweeps the table
+   once, evicting cold entries (and, only if the cold set alone is not
+   enough, demoted hot ones) until at most half the capacity remains,
+   and clears the hot bit on the survivors.  A warm working set — the
+   entries a what-if sweep keeps re-finding — survives the sweep; only
+   the cold tail pays.  Must be called with the store lock held. *)
+let evict_sweep metrics c =
+  let target = c.capacity / 2 in
+  let cold = ref [] and hot = ref [] in
+  Hashtbl.iter
+    (fun k e ->
+      if e.hot then begin
+        e.hot <- false;
+        hot := k :: !hot
+      end
+      else cold := k :: !cold)
+    c.table;
+  let evicted = ref 0 in
+  let evict k =
+    if Hashtbl.length c.table > target then begin
+      Hashtbl.remove c.table k;
+      incr evicted
+    end
+  in
+  List.iter evict !cold;
+  List.iter evict !hot;
+  c.evictions <- c.evictions + !evicted;
+  Metrics.incr metrics ~by:!evicted (counter c "evictions")
+
+(* Insert with eviction-on-capacity; lock held.  New entries arrive
+   hot so a sweep immediately after an insertion burst does not drop
+   the values just computed. *)
+let insert_locked metrics c k v =
+  if Hashtbl.length c.table >= c.capacity && not (Hashtbl.mem c.table k) then
+    evict_sweep metrics c;
+  Hashtbl.replace c.table k { value = v; hot = true };
+  set_entries metrics c
+
 let find ?metrics c k =
   let r =
     locked c (fun () ->
         match Hashtbl.find_opt c.table k with
-        | Some v ->
+        | Some e ->
+          e.hot <- true;
           c.hits <- c.hits + 1;
-          Some v
-        | None ->
-          c.misses <- c.misses + 1;
-          None)
+          Some e.value
+        | None -> None)
   in
-  (match r with
-   | Some _ -> Metrics.incr metrics (counter c "hits")
-   | None -> Metrics.incr metrics (counter c "misses"));
-  r
+  match r with
+  | Some _ ->
+    Metrics.incr metrics (counter c "hits");
+    r
+  | None ->
+    (* Memory miss: probe the durable backend (outside the lock — the
+       store does its own locking and I/O is slow) and re-admit a
+       verified entry.  A durable restore counts as a hit of the
+       two-level cache; the store's own counters expose the split. *)
+    let restored =
+      match c.durable with
+      | None -> None
+      | Some (store, codec) -> Option.bind (Store.find store k) codec.decode
+    in
+    (match restored with
+     | Some v ->
+       locked c (fun () ->
+           c.hits <- c.hits + 1;
+           insert_locked metrics c k v);
+       Metrics.incr metrics (counter c "hits")
+     | None ->
+       locked c (fun () -> c.misses <- c.misses + 1);
+       Metrics.incr metrics (counter c "misses"));
+    restored
 
 let add ?metrics c k v =
-  locked c (fun () ->
-      if Hashtbl.length c.table >= c.capacity && not (Hashtbl.mem c.table k) then begin
-        c.evictions <- c.evictions + Hashtbl.length c.table;
-        Metrics.incr metrics ~by:(Hashtbl.length c.table) (counter c "evictions");
-        Hashtbl.reset c.table
-      end;
-      Hashtbl.replace c.table k v;
-      set_entries metrics c)
+  (* Write-through first: if encoding raises, memory stays consistent
+     and the caller sees the error; the store itself never raises. *)
+  (match c.durable with
+   | Some (store, codec) -> Store.add store k (codec.encode v)
+   | None -> ());
+  locked c (fun () -> insert_locked metrics c k v)
 
 let find_or_add ?metrics ?trace c k f =
   match find ?metrics c k with

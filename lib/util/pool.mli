@@ -94,37 +94,55 @@ val parallel_mapi :
 
 (** {1 Supervised maps} *)
 
+type cause =
+  | Exn  (** an ordinary exception. *)
+  | Fault of string  (** an injected {!Fault} fired at this site. *)
+  | Budget of string  (** a {!Limits} budget tripped at this site. *)
+  | Timed_out of Cancel.reason
+      (** a {!Cancel} token tripped — deadline expiry or explicit stop.
+          Timed-out items are never retried: the deadline stays expired,
+          so a retry could only burn budget re-reaching the poll. *)
+
+(** Classification of the terminal exception of a failed item. *)
+
 type failure = {
   exn : exn;  (** the terminal exception, after any retries. *)
   backtrace : string;  (** its backtrace (empty when recording is off). *)
   site : string option;
-      (** the {!Fault}/{!Limits} site that produced it, when known. *)
+      (** the {!Fault}/{!Limits}/{!Cancel} site that produced it, when
+          known. *)
+  cause : cause;  (** what kind of failure this was. *)
   attempts : int;  (** how many times the item was tried. *)
   elapsed : float;  (** seconds spent on the item across all attempts. *)
 }
 (** Why one input item failed. *)
 
 val map_results :
-  ?retries:int -> ?backoff:float -> t -> ('a -> 'b) -> 'a list ->
+  ?retries:int -> ?backoff:float -> ?cancel:Cancel.t -> t -> ('a -> 'b) -> 'a list ->
   ('b, failure) result list
 (** Order-preserving supervised map: every input yields [Ok] or a
     {!failure}; an exception in one item never affects the others.
     [retries] (default 0) re-runs a failed item up to that many extra
-    times, sleeping [backoff * 2{^attempt-1}] seconds between attempts
-    (default 0) and counting [task.retried]. *)
+    times with exponential backoff ([backoff * 2{^attempt-1}] seconds,
+    default 0), counting [task.retried].  On a pool the backoff never
+    blocks a worker: the item is requeued with a not-before time and
+    the domain keeps serving other items.  [cancel] is polled (site
+    ["pool.queued"]) before each item attempt, so once the token trips
+    every not-yet-started item fails fast with a {!Timed_out} failure
+    instead of running — the pool drains at poll speed. *)
 
 val mapi_results :
-  ?retries:int -> ?backoff:float -> t -> (int -> 'a -> 'b) -> 'a list ->
+  ?retries:int -> ?backoff:float -> ?cancel:Cancel.t -> t -> (int -> 'a -> 'b) -> 'a list ->
   ('b, failure) result list
 
 val parallel_map_results :
   ?jobs:int -> ?trace:Trace.t -> ?metrics:Metrics.t -> ?faults:Fault.t ->
-  ?retries:int -> ?backoff:float -> ('a -> 'b) -> 'a list ->
+  ?cancel:Cancel.t -> ?retries:int -> ?backoff:float -> ('a -> 'b) -> 'a list ->
   ('b, failure) result list
 (** One-shot supervised map: create a pool, {!map_results}, shut down,
     with the same sequential short-circuits as {!parallel_map}. *)
 
 val parallel_mapi_results :
   ?jobs:int -> ?trace:Trace.t -> ?metrics:Metrics.t -> ?faults:Fault.t ->
-  ?retries:int -> ?backoff:float -> (int -> 'a -> 'b) -> 'a list ->
+  ?cancel:Cancel.t -> ?retries:int -> ?backoff:float -> (int -> 'a -> 'b) -> 'a list ->
   ('b, failure) result list

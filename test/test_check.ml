@@ -206,6 +206,44 @@ let test_violates_predicate () =
   check_bool "empty file set does not violate" false
     (Rd_check.Crosscheck.violates ~invariant:"sim-subset-static" ~name:"t" [])
 
+(* The checkpoint store replays crosscheck reports from JSON: the codec
+   must be total and lossless, or a resumed sweep would silently drift
+   from the uninterrupted one. *)
+let test_report_json_roundtrip () =
+  let net = Rd_gen.Archetype.generate Rd_gen.Archetype.Enterprise ~seed:4 ~n:8 ~index:2 () in
+  let r = Rd_check.Crosscheck.run ~name:"netR" (Rd_gen.Builder.to_texts net) in
+  (match Rd_check.Crosscheck.report_of_json (Rd_check.Crosscheck.report_to_json r) with
+   | Some r' -> check_bool "structurally identical" true (r = r')
+   | None -> Alcotest.fail "round trip decoded to None");
+  (* through actual bytes, the path the store exercises *)
+  let bytes = Rd_util.Json.to_string (Rd_check.Crosscheck.report_to_json r) in
+  (match Rd_util.Json.of_string bytes with
+   | Ok j -> (
+     match Rd_check.Crosscheck.report_of_json j with
+     | Some r' ->
+       check_bool "identical after print+parse" true (r = r');
+       Alcotest.(check string) "re-rendered report is byte-identical"
+         (Rd_check.Crosscheck.render [ r ])
+         (Rd_check.Crosscheck.render [ r' ])
+     | None -> Alcotest.fail "decode after parse failed")
+   | Error e -> Alcotest.failf "parse failed: %s" e);
+  (* foreign payloads decode to None, never raise *)
+  check_bool "wrong shape is None" true
+    (Rd_check.Crosscheck.report_of_json (Rd_util.Json.Obj [ ("x", Rd_util.Json.Int 1) ])
+     = None)
+
+(* A pre-cancelled token makes the per-network oracle fail fast with the
+   crosscheck.network site — the failure mode behind --task-timeout. *)
+let test_crosscheck_cancelled () =
+  let tok = Rd_util.Cancel.create () in
+  Rd_util.Cancel.cancel ~reason:"task-timeout" tok;
+  let net = Rd_gen.Archetype.generate Rd_gen.Archetype.Igp_only ~seed:3 ~n:5 ~index:1 () in
+  match Rd_check.Crosscheck.run ~cancel:tok ~name:"netT" (Rd_gen.Builder.to_texts net) with
+  | _ -> Alcotest.fail "expected Cancelled"
+  | exception Rd_util.Cancel.Cancelled { site; _ } ->
+    check_bool "a crosscheck or analysis poll site" true
+      (site = "crosscheck.network" || site = "analysis.parse" || site = "parse.file")
+
 (* ------------------------------------------------------- study (slow) --- *)
 
 (* Every small network of the 31-network study population, through the
@@ -237,6 +275,8 @@ let () =
           Alcotest.test_case "all archetype flavors" `Quick test_oracle_all_flavors;
           Alcotest.test_case "report shape" `Quick test_report_shape;
           Alcotest.test_case "render and json" `Quick test_render_and_json;
+          Alcotest.test_case "report json round trip" `Quick test_report_json_roundtrip;
+          Alcotest.test_case "cancellation fails fast" `Quick test_crosscheck_cancelled;
         ] );
       ( "shrinker",
         [

@@ -430,6 +430,37 @@ let graph_of (a, s, n) =
   let net = Rd_gen.Archetype.generate arch ~seed:s ~n ~index:(s mod 13) () in
   (Rd_core.Analysis.analyze ~name:"p" (Rd_gen.Builder.to_texts net)).graph
 
+(* Each instrumented fixpoint polls its token once per generation at
+   site "reach.fixpoint": a pre-cancelled token must surface within the
+   first generation of each entry point, as a Cancelled carrying that
+   site — never a partial result. *)
+let test_reach_cancel_site () =
+  let g = graph_of (0, 7, 10) in
+  let tripped () =
+    let t = Rd_util.Cancel.create () in
+    Rd_util.Cancel.cancel ~reason:"deadline-test" t;
+    t
+  in
+  let expect_cancelled name f =
+    match f () with
+    | _ -> Alcotest.failf "%s: expected Cancelled to escape" name
+    | exception Rd_util.Cancel.Cancelled { site = "reach.fixpoint"; _ } -> ()
+    | exception Rd_util.Cancel.Cancelled { site; _ } ->
+      Alcotest.failf "%s: wrong poll site %s" name site
+  in
+  expect_cancelled "compute" (fun () ->
+      Rd_reach.Reachability.compute ~cancel:(tripped ()) g);
+  expect_cancelled "compute_rounds" (fun () ->
+      Rd_reach.Reachability.compute_rounds ~cancel:(tripped ()) g);
+  let base = Rd_reach.Reachability.compute g in
+  expect_cancelled "compute_delta" (fun () ->
+      Rd_reach.Reachability.compute_delta ~cancel:(tripped ()) ~previous:base g);
+  (* a live token leaves the fixpoint untouched *)
+  let live = Rd_util.Cancel.create ~deadline:600.0 () in
+  let w = Rd_reach.Reachability.compute ~cancel:live g in
+  Alcotest.(check bool) "live token, same fixpoint" true
+    (Array.for_all2 Prefix_set.equal w.routes base.routes)
+
 let prop_worklist_matches_rounds =
   QCheck.Test.make ~name:"worklist fixpoint = round-robin fixpoint" ~count:10 arb_seed_net
     (fun spec ->
@@ -511,6 +542,8 @@ let () =
             test_origins_bulk_shared;
           Alcotest.test_case "default-originate seeds routes not origins" `Quick
             test_default_originate_seeded;
+          Alcotest.test_case "cancellation polls at reach.fixpoint" `Quick
+            test_reach_cancel_site;
           Alcotest.test_case "worklist = rounds on 31-network study" `Slow
             test_worklist_matches_rounds_study;
         ] );

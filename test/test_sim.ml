@@ -152,6 +152,25 @@ let test_propagate_igp () =
    | None -> Alcotest.fail "no route");
   check_bool "converged" true (sim.iterations <= 5)
 
+let test_propagate_cancel_degrades () =
+  (* a tripped token stops the round loop at its next poll: the sim
+     comes back with [converged = false], no exception escapes *)
+  let tok = Rd_util.Cancel.create () in
+  Rd_util.Cancel.cancel ~reason:"SIGINT" tok;
+  let topo = Rd_topo.Topology.build small_net in
+  let catalog = Rd_routing.Process.build topo in
+  let graph = Rd_routing.Process_graph.build catalog in
+  let sim = Rd_sim.Propagate.run ~cancel:tok graph in
+  check_bool "degrades to non-convergence" true (not sim.converged);
+  (* an expiring deadline mid-run does the same *)
+  let tok2 = Rd_util.Cancel.create ~deadline:0.0 () in
+  let sim2 = Rd_sim.Propagate.run ~cancel:tok2 graph in
+  check_bool "deadline degrades too" true (not sim2.converged);
+  (* and a live token changes nothing *)
+  let live = Rd_util.Cancel.create () in
+  let sim3 = Rd_sim.Propagate.run ~cancel:(Rd_util.Cancel.child live) graph in
+  check_bool "live token converges" true sim3.converged
+
 let test_propagate_connected_preferred () =
   let sim = run small_net in
   (* in r1's router RIB, 10.1.0.0/24 must be connected, not OSPF *)
@@ -691,6 +710,7 @@ let () =
       ( "propagate",
         [
           Alcotest.test_case "igp exchange" `Quick test_propagate_igp;
+          Alcotest.test_case "cancellation degrades" `Quick test_propagate_cancel_degrades;
           Alcotest.test_case "connected preferred" `Quick test_propagate_connected_preferred;
           Alcotest.test_case "external injection" `Quick test_propagate_external_injection;
           Alcotest.test_case "loads" `Quick test_propagate_loads;

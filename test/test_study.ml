@@ -306,6 +306,203 @@ let test_scorecard () =
   check_bool "no failures" false (contains "FAIL");
   check_bool "summary present" true (contains "20/20 criteria pass")
 
+(* ------------------------------------------------- netstat + checkpoint --- *)
+
+(* Small, fast networks: net4 (6 routers), net10 (4), net12 (12), net26 (9). *)
+let small_subset = [ 4; 10; 12; 26 ]
+
+let test_netstat_codec_roundtrip () =
+  (* every per-network statistic survives JSON print + parse exactly —
+     including floats, which the codec hex-encodes because the JSON
+     printer's %.12g is lossy *)
+  let nets = Rd_study.Population.build ~only:small_subset ~jobs:1 ~master_seed:seed () in
+  let stats = List.map Rd_study.Netstat.of_network nets in
+  let roundtripped =
+    List.map
+      (fun st ->
+        let bytes = Rd_util.Json.to_string (Rd_study.Netstat.to_json st) in
+        match Rd_util.Json.of_string bytes with
+        | Error e -> Alcotest.failf "netstat json did not reparse: %s" e
+        | Ok j -> (
+          match Rd_study.Netstat.of_json j with
+          | Some st' -> st'
+          | None -> Alcotest.fail "netstat decode returned None"))
+      stats
+  in
+  List.iter2
+    (fun (a : Rd_study.Netstat.t) b ->
+      check_bool (Printf.sprintf "%s structurally identical" a.label) true (a = b))
+    stats roundtripped;
+  (* foreign payloads decode to None *)
+  check_bool "wrong shape is None" true
+    (Rd_study.Netstat.of_json (Rd_util.Json.Obj [ ("x", Rd_util.Json.Int 1) ]) = None);
+  (* the aggregate renderers see no difference between fresh and
+     replayed stats — the byte-identity --resume relies on *)
+  Alcotest.(check string) "sec7 identical"
+    (Rd_study.Experiments.sec7 nets)
+    (Rd_study.Experiments.sec7_stats roundtripped);
+  Alcotest.(check string) "table1 identical"
+    (Rd_study.Experiments.table1 nets)
+    (Rd_study.Experiments.table1_stats roundtripped);
+  Alcotest.(check string) "table3 identical"
+    (Rd_study.Experiments.table3 nets)
+    (Rd_study.Experiments.table3_stats roundtripped);
+  Alcotest.(check string) "fig11 identical"
+    (Rd_study.Experiments.fig11 nets)
+    (Rd_study.Experiments.fig11_stats roundtripped);
+  List.iter2
+    (fun (n : Rd_study.Population.network) st ->
+      Alcotest.(check string) "block identical"
+        (Printf.sprintf "--- %s (%s, %d routers) ---\n%s" n.spec.label
+           (Rd_gen.Archetype.to_string n.spec.arch) n.spec.n
+           (Rd_core.Analysis.summary n.analysis))
+        (Rd_study.Netstat.render_block st))
+    nets roundtripped
+
+let with_checkpoint_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rd-ckpt-test-%d" (Hashtbl.hash (Rd_util.Trace.now ())))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let render_study_items items =
+  String.concat ""
+    (List.map
+       (fun (i : Rd_study.Driver.study_item) -> Rd_study.Netstat.render_block i.stat)
+       items)
+  ^ Rd_study.Experiments.table1_stats
+      (List.map (fun (i : Rd_study.Driver.study_item) -> i.stat) items)
+
+let test_driver_study_resume_identical () =
+  with_checkpoint_dir @@ fun dir ->
+  let oks results =
+    List.map
+      (function
+        | Ok (i : Rd_study.Driver.study_item) -> i
+        | Error (f : Rd_study.Population.failure) ->
+          Alcotest.failf "%s failed: %s" f.spec.label (Printexc.to_string f.failure.exn))
+      results
+  in
+  (* pass 1: cold, persists every completed network *)
+  let ck1 = Rd_study.Checkpoint.open_dir dir in
+  let r1 =
+    oks
+      (Rd_study.Driver.study ~jobs:1 ~checkpoint:ck1 ~only:small_subset ~master_seed:seed ())
+  in
+  check_int "all persisted" (List.length small_subset)
+    (Rd_util.Store.stats (Rd_study.Checkpoint.store ck1)).writes;
+  check_bool "fresh items carry the analysis" true
+    (List.for_all (fun (i : Rd_study.Driver.study_item) -> i.network <> None) r1);
+  (* pass 2: resumed, replays every network from the store *)
+  let ck2 = Rd_study.Checkpoint.open_dir dir in
+  let r2 =
+    oks
+      (Rd_study.Driver.study ~jobs:1 ~checkpoint:ck2 ~resume:true ~only:small_subset
+         ~master_seed:seed ())
+  in
+  let st2 = Rd_util.Store.stats (Rd_study.Checkpoint.store ck2) in
+  check_int "every network replayed" (List.length small_subset) st2.hits;
+  check_int "nothing rebuilt" 0 st2.writes;
+  check_bool "replayed items carry no analysis" true
+    (List.for_all (fun (i : Rd_study.Driver.study_item) -> i.network = None) r2);
+  Alcotest.(check string) "resumed report byte-identical" (render_study_items r1)
+    (render_study_items r2);
+  (* resume under a different seed misses: keys cover the spec *)
+  let ck3 = Rd_study.Checkpoint.open_dir dir in
+  let r3 =
+    Rd_study.Driver.study ~jobs:1 ~checkpoint:ck3 ~resume:true ~only:[ 10 ]
+      ~master_seed:(seed + 1) ()
+  in
+  check_int "different seed misses" 0 (Rd_util.Store.stats (Rd_study.Checkpoint.store ck3)).hits;
+  check_int "and rebuilds" 1 (List.length (oks r3))
+
+let test_driver_crosscheck_resume_identical () =
+  with_checkpoint_dir @@ fun dir ->
+  let subset = [ 10; 26 ] in
+  let reports results =
+    List.map
+      (fun ((spec : Rd_study.Population.spec), r) ->
+        match r with
+        | Ok (rep : Rd_check.Crosscheck.report) -> rep
+        | Error (f : Rd_study.Population.failure) ->
+          Alcotest.failf "%s failed: %s" spec.label (Printexc.to_string f.failure.exn))
+      results
+  in
+  let ck1 = Rd_study.Checkpoint.open_dir dir in
+  let r1 =
+    reports
+      (Rd_study.Driver.crosscheck ~jobs:1 ~checkpoint:ck1 ~only:subset ~master_seed:seed ())
+  in
+  let ck2 = Rd_study.Checkpoint.open_dir dir in
+  let r2 =
+    reports
+      (Rd_study.Driver.crosscheck ~jobs:1 ~checkpoint:ck2 ~resume:true ~only:subset
+         ~master_seed:seed ())
+  in
+  check_int "replayed" (List.length subset)
+    (Rd_util.Store.stats (Rd_study.Checkpoint.store ck2)).hits;
+  Alcotest.(check string) "resumed crosscheck report byte-identical"
+    (Rd_check.Crosscheck.render r1)
+    (Rd_check.Crosscheck.render r2);
+  (* a different invariant selection must miss (it joins the key) *)
+  let ck3 = Rd_study.Checkpoint.open_dir dir in
+  ignore
+    (Rd_study.Driver.crosscheck ~jobs:1 ~checkpoint:ck3 ~resume:true
+       ~invariants:[ "sim-subset-static" ] ~only:subset ~master_seed:seed ());
+  check_int "different invariants miss" 0
+    (Rd_util.Store.stats (Rd_study.Checkpoint.store ck3)).hits
+
+let test_driver_task_timeout_degrades () =
+  (* an immediate per-task deadline degrades every network to a
+     Timed_out failure row; nothing escapes, nothing is persisted *)
+  with_checkpoint_dir @@ fun dir ->
+  let ck = Rd_study.Checkpoint.open_dir dir in
+  let results =
+    Rd_study.Driver.study ~jobs:1 ~task_timeout:0.0 ~checkpoint:ck ~only:[ 10 ]
+      ~master_seed:seed ()
+  in
+  (match results with
+   | [ Error (f : Rd_study.Population.failure) ] ->
+     Alcotest.(check string) "net10 degraded" "net10" f.spec.label;
+     (match f.failure.cause with
+      | Rd_util.Pool.Timed_out (Rd_util.Cancel.Deadline _) -> ()
+      | _ -> Alcotest.fail "expected Timed_out (Deadline _)");
+     check_bool "elapsed recorded" true (f.failure.elapsed >= 0.0)
+   | _ -> Alcotest.fail "expected exactly one failure");
+  check_int "nothing persisted" 0 (Rd_util.Store.stats (Rd_study.Checkpoint.store ck)).writes
+
+let test_driver_whatif_resume_rows_identical () =
+  with_checkpoint_dir @@ fun dir ->
+  (* drop the trailing engine cache-totals line: it reflects only what
+     this process computed, which is the point of the comparison — the
+     scenario rows themselves must replay byte-identically *)
+  let rows_only report =
+    String.concat "\n"
+      (List.filter
+         (fun l -> not (String.length l >= 6 && String.sub l 0 6 = "cache:"))
+         (String.split_on_char '\n' report))
+  in
+  let ck1 = Rd_study.Checkpoint.open_dir dir in
+  let report1, failures1 =
+    Rd_study.Driver.whatif ~checkpoint:ck1 ~only:[ 10 ] ~master_seed:seed ()
+  in
+  check_int "no failures" 0 (List.length failures1);
+  let ck2 = Rd_study.Checkpoint.open_dir dir in
+  let report2, failures2 =
+    Rd_study.Driver.whatif ~checkpoint:ck2 ~resume:true ~only:[ 10 ] ~master_seed:seed ()
+  in
+  check_int "no failures on resume" 0 (List.length failures2);
+  check_int "replayed" 1 (Rd_util.Store.stats (Rd_study.Checkpoint.store ck2)).hits;
+  Alcotest.(check string) "scenario rows byte-identical" (rows_only report1)
+    (rows_only report2)
+
 (* ------------------------------------------------------------------ lint --- *)
 
 let test_full_study_lints_clean () =
@@ -329,6 +526,17 @@ let () =
           Alcotest.test_case "size marginals" `Quick test_population_marginals;
           Alcotest.test_case "bgp/filter marginals" `Quick test_population_bgp_and_filters;
           Alcotest.test_case "repository sizes" `Quick test_repository_sizes;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "netstat codec roundtrip" `Quick test_netstat_codec_roundtrip;
+          Alcotest.test_case "study resume byte-identical" `Quick
+            test_driver_study_resume_identical;
+          Alcotest.test_case "crosscheck resume byte-identical" `Quick
+            test_driver_crosscheck_resume_identical;
+          Alcotest.test_case "task timeout degrades" `Quick test_driver_task_timeout_degrades;
+          Alcotest.test_case "whatif resume rows identical" `Quick
+            test_driver_whatif_resume_rows_identical;
         ] );
       ( "networks",
         [

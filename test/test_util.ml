@@ -783,6 +783,294 @@ let test_cache_metrics_and_trace () =
   check_bool "miss span recorded" true
     (List.exists (fun (s : Trace.span) -> s.name = "cache.miss") (Trace.spans tr))
 
+(* ------------------------------------------------------------- Cancel --- *)
+
+(* Busy-wait on the tracer's wall clock: the test harness links no unix
+   stub of its own, and the waits are a few tens of milliseconds. *)
+let wait_until t =
+  while Trace.now () < t do
+    ignore (Sys.opaque_identity ())
+  done
+
+let test_cancel_latch_and_check () =
+  let t = Cancel.create () in
+  check_bool "live" false (Cancel.cancelled (Some t));
+  Cancel.check ~site:"s" (Some t);
+  (* a None token is never cancelled *)
+  check_bool "None never cancels" false (Cancel.cancelled None);
+  Cancel.check ~site:"s" None;
+  Cancel.cancel ~reason:"SIGINT" t;
+  check_bool "tripped" true (Cancel.cancelled (Some t));
+  (match Cancel.status t with
+   | Some (Cancel.Stopped "SIGINT") -> ()
+   | _ -> Alcotest.fail "expected Stopped SIGINT");
+  (* idempotent: the first reason sticks *)
+  Cancel.cancel ~reason:"second" t;
+  (match Cancel.status t with
+   | Some (Cancel.Stopped "SIGINT") -> ()
+   | _ -> Alcotest.fail "first cancellation must win");
+  match Cancel.check ~site:"here" (Some t) with
+  | () -> Alcotest.fail "check must raise once cancelled"
+  | exception Cancel.Cancelled { site; reason = Cancel.Stopped "SIGINT" } ->
+    check_string "poll site" "here" site
+  | exception _ -> Alcotest.fail "wrong exception"
+
+let test_cancel_deadline_expires () =
+  let t = Cancel.create ~deadline:0.05 () in
+  check_bool "live before expiry" false (Cancel.cancelled (Some t));
+  (match Cancel.remaining t with
+   | Some r -> check_bool "remaining positive" true (r > 0.0 && r <= 0.05)
+   | None -> Alcotest.fail "deadline must report remaining");
+  wait_until (Trace.now () +. 0.06);
+  check_bool "expired" true (Cancel.cancelled (Some t));
+  (match Cancel.status t with
+   | Some (Cancel.Deadline b) -> check_bool "budget recorded" true (b > 0.0)
+   | _ -> Alcotest.fail "expected Deadline");
+  match Cancel.remaining t with
+  | Some r -> check_bool "negative once expired" true (r <= 0.0)
+  | None -> Alcotest.fail "deadline must keep reporting remaining"
+
+let test_cancel_child_inherits () =
+  (* parent cancellation reaches the child; child cancellation stays local *)
+  let p = Cancel.create () in
+  let c = Cancel.child p in
+  Cancel.cancel ~reason:"stop" p;
+  check_bool "child sees parent cancel" true (Cancel.cancelled (Some c));
+  let p2 = Cancel.create () in
+  let c2 = Cancel.child p2 in
+  Cancel.cancel c2;
+  check_bool "child tripped" true (Cancel.cancelled (Some c2));
+  check_bool "parent unaffected" false (Cancel.cancelled (Some p2));
+  (* the child's effective deadline is the tighter of child and parent *)
+  let p3 = Cancel.create ~deadline:60.0 () in
+  let c3 = Cancel.child ~deadline:0.05 p3 in
+  (match Cancel.remaining c3 with
+   | Some r -> check_bool "tighter child budget wins" true (r <= 0.05)
+   | None -> Alcotest.fail "child must have a deadline");
+  wait_until (Trace.now () +. 0.06);
+  check_bool "child expired" true (Cancel.cancelled (Some c3));
+  check_bool "parent still live" false (Cancel.cancelled (Some p3))
+
+(* -------------------------------------------------------------- Store --- *)
+
+let with_store_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rd-store-test-%d" (Hashtbl.hash (Trace.now ())))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let store_key part = Cache.raw (Cache.key ~stage:"test" ~version:1 [ part ])
+
+let test_store_roundtrip () =
+  with_store_dir @@ fun dir ->
+  let s = Store.open_dir dir in
+  let k = store_key "a" in
+  check_bool "absent" true (Store.find s k = None);
+  check_bool "not mem" false (Store.mem s k);
+  let payload = "binary \x00 payload\nwith newlines" in
+  Store.add s k payload;
+  check_bool "found verbatim" true (Store.find s k = Some payload);
+  check_bool "mem" true (Store.mem s k);
+  (* overwrite is atomic and wins *)
+  Store.add s k "second";
+  check_bool "overwritten" true (Store.find s k = Some "second");
+  (* durability: a fresh handle on the same directory sees the entry *)
+  let s2 = Store.open_dir dir in
+  check_bool "persists across open" true (Store.find s2 k = Some "second");
+  (* no temp droppings: every file in the directory is a named entry *)
+  Array.iter
+    (fun f -> check_bool "only .entry files" true (Filename.check_suffix f ".entry"))
+    (Sys.readdir dir);
+  let st = Store.stats s in
+  check_int "writes" 2 st.writes;
+  check_bool "misses counted" true (st.misses >= 2);
+  check_bool "hits counted" true (st.hits >= 2);
+  check_int "nothing corrupt" 0 st.corrupt
+
+let test_store_corruption_is_a_miss () =
+  with_store_dir @@ fun dir ->
+  let metrics = Metrics.create () in
+  let s = Store.open_dir ~metrics dir in
+  let k = store_key "victim" and k2 = store_key "intact" in
+  Store.add s k "precious result";
+  Store.add s k2 "other result";
+  (* truncate the entry mid-frame *)
+  let path = Store.entry_path s k in
+  let full = In_channel.with_open_bin path In_channel.input_all in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (String.sub full 0 (String.length full / 2)));
+  check_bool "truncated entry is a miss" true (Store.find s k = None);
+  (* flip a payload byte: framed digest catches silent corruption *)
+  let flipped = Bytes.of_string full in
+  let last = Bytes.length flipped - 1 in
+  Bytes.set flipped last (Char.chr (Char.code (Bytes.get flipped last) lxor 1));
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_bytes oc flipped);
+  check_bool "bit-flipped entry is a miss" true (Store.find s k = None);
+  (* garbage that is not even a frame *)
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc "garbage");
+  check_bool "garbage is a miss" true (Store.find s k = None);
+  let st = Store.stats s in
+  check_int "three corrupt reads" 3 st.corrupt;
+  check_bool "corrupt counted as misses" true (st.misses >= 3);
+  check_bool "store.corrupt metric" true
+    (Metrics.counter_value metrics "store.corrupt" = Some 3);
+  (* the sibling entry is untouched *)
+  check_bool "intact neighbour still reads" true (Store.find s k2 = Some "other result");
+  let contains ~needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "render mentions corrupt" true
+    (contains ~needle:"corrupt" (Store.render_stats s))
+
+(* ------------------------------------------- Pool: cancellation/backoff --- *)
+
+let test_pool_cancelled_items_time_out () =
+  let tok = Cancel.create () in
+  Cancel.cancel ~reason:"SIGINT" tok;
+  let ran = Atomic.make 0 in
+  let results =
+    Pool.parallel_map_results ~jobs:2 ~cancel:tok ~retries:3
+      (fun x -> Atomic.incr ran; x)
+      [ 1; 2; 3 ]
+  in
+  check_int "no task body ran" 0 (Atomic.get ran);
+  List.iter
+    (function
+      | Ok _ -> Alcotest.fail "cancelled items must not succeed"
+      | Error (f : Pool.failure) ->
+        (match f.cause with
+         | Pool.Timed_out (Cancel.Stopped "SIGINT") -> ()
+         | _ -> Alcotest.fail "expected Timed_out (Stopped SIGINT)");
+        check_bool "queued-poll site" true (f.site = Some "pool.queued");
+        check_int "never retried" 1 f.attempts;
+        check_bool "elapsed recorded" true (f.elapsed >= 0.0))
+    results
+
+let test_pool_backoff_does_not_block_workers () =
+  (* two workers, two items whose first attempt fails with a long
+     backoff, three fast items: with requeue-with-not-before semantics
+     the fast items complete while the failed ones wait out their
+     backoff; a worker that slept through the backoff would stall them
+     past [backoff] seconds. *)
+  let backoff = 0.8 in
+  let t0 = Trace.now () in
+  let mu = Mutex.create () in
+  let done_at = Hashtbl.create 8 in
+  let attempts = Hashtbl.create 8 in
+  let f x =
+    let n =
+      Mutex.lock mu;
+      let n = 1 + Option.value ~default:0 (Hashtbl.find_opt attempts x) in
+      Hashtbl.replace attempts x n;
+      Mutex.unlock mu;
+      n
+    in
+    if x < 2 && n = 1 then failwith "first attempt fails";
+    Mutex.lock mu;
+    Hashtbl.replace done_at x (Trace.now ());
+    Mutex.unlock mu;
+    x
+  in
+  let results =
+    Pool.parallel_map_results ~jobs:2 ~retries:1 ~backoff f [ 0; 1; 2; 3; 4 ]
+  in
+  check_bool "all recover" true (List.for_all Result.is_ok results);
+  let finished x = Hashtbl.find done_at x -. t0 in
+  List.iter
+    (fun x ->
+      check_bool
+        (Printf.sprintf "fast item %d finished during the backoff window" x)
+        true
+        (finished x < backoff *. 0.6))
+    [ 2; 3; 4 ];
+  List.iter
+    (fun x ->
+      check_bool "failed item waited out its backoff" true (finished x >= backoff *. 0.9))
+    [ 0; 1 ]
+
+(* ---------------------------------------------- Cache: eviction policy --- *)
+
+let ckey i = Cache.key ~stage:"sc" ~version:1 [ string_of_int i ]
+
+let test_cache_second_chance_cold_tail_pays () =
+  (* capacity 8, target 4.  Walk the cache into a state with exactly
+     four cold entries (survivors of a previous sweep, untouched since)
+     and four hot ones; the next overflow must evict precisely the cold
+     tail. *)
+  let c = Cache.create ~capacity:8 ~name:"sc" () in
+  for i = 1 to 8 do Cache.add c (ckey i) i done;
+  (* sweep #1: all hot, halves arbitrarily; k9 inserted hot *)
+  Cache.add c (ckey 9) 9;
+  for i = 10 to 12 do Cache.add c (ckey i) i done;
+  (* sweep #2: the four pre-sweep survivors are cold and evicted; the
+     four recent inserts 9-12 survive, demoted to cold *)
+  Cache.add c (ckey 13) 13;
+  for i = 14 to 16 do Cache.add c (ckey i) i done;
+  (* now cold = {9..12}, hot = {13..16}: sweep #3 must keep every hot
+     entry and drop every cold one *)
+  Cache.add c (ckey 17) 17;
+  for i = 13 to 17 do
+    check_bool (Printf.sprintf "hot k%d survives" i) true (Cache.find c (ckey i) = Some i)
+  done;
+  for i = 9 to 12 do
+    check_bool (Printf.sprintf "cold k%d evicted" i) true (Cache.find c (ckey i) = None)
+  done
+
+let test_cache_second_chance_warm_hit_rate () =
+  (* a warm working set re-found on every iteration keeps hitting while
+     a stream of cold inserts overflows the table around it *)
+  let c = Cache.create ~capacity:16 ~name:"warm" () in
+  let warm = [ 10_001; 10_002; 10_003; 10_004 ] in
+  List.iter (fun i -> Cache.add c (ckey i) i) warm;
+  let hits = ref 0 and probes = ref 0 in
+  for i = 1 to 200 do
+    List.iter
+      (fun w ->
+        incr probes;
+        match Cache.find c (ckey w) with
+        | Some v -> check_int "value intact" w v; incr hits
+        | None -> Cache.add c (ckey w) w)
+      warm;
+    Cache.add c (ckey i) i
+  done;
+  let rate = float_of_int !hits /. float_of_int !probes in
+  check_bool
+    (Printf.sprintf "warm hit rate %.2f stays high under cold churn" rate)
+    true (rate >= 0.9)
+
+let test_cache_durable_write_through_restore () =
+  with_store_dir @@ fun dir ->
+  let codec = { Cache.encode = string_of_int; decode = int_of_string_opt } in
+  let store = Store.open_dir dir in
+  let c = Cache.create ~durable:(store, codec) ~name:"d" () in
+  let k = ckey 1 in
+  Cache.add c k 42;
+  check_bool "memory hit" true (Cache.find c k = Some 42);
+  (* the write went through to disk under the raw digest *)
+  check_bool "durable entry" true (Store.find store (Cache.raw k) = Some "42");
+  (* a fresh process: new memory table over the same directory *)
+  let store2 = Store.open_dir dir in
+  let c2 = Cache.create ~durable:(store2, codec) ~name:"d" () in
+  check_bool "restored from disk" true (Cache.find c2 k = Some 42);
+  let disk_hits = (Store.stats store2).hits in
+  (* re-admitted to memory: the next find does not touch the store *)
+  check_bool "second find hits memory" true (Cache.find c2 k = Some 42);
+  check_int "no extra disk read" disk_hits (Store.stats store2).hits;
+  (* a corrupt durable entry degrades to a plain miss *)
+  Out_channel.with_open_bin (Store.entry_path store2 (Cache.raw k)) (fun oc ->
+      Out_channel.output_string oc "junk");
+  let c3 = Cache.create ~durable:(Store.open_dir dir, codec) ~name:"d" () in
+  check_bool "corrupt backend is a miss" true (Cache.find c3 k = None)
+
 let () =
   let qc = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "rd_util"
@@ -811,6 +1099,21 @@ let () =
             test_pool_pickup_fault_no_deadlock;
           Alcotest.test_case "map_results isolation" `Quick test_pool_map_results_isolation;
           Alcotest.test_case "retry recovers" `Quick test_pool_retry_recovers;
+          Alcotest.test_case "cancelled items time out" `Quick
+            test_pool_cancelled_items_time_out;
+          Alcotest.test_case "backoff does not block workers" `Quick
+            test_pool_backoff_does_not_block_workers;
+        ] );
+      ( "cancel",
+        [
+          Alcotest.test_case "latch and check" `Quick test_cancel_latch_and_check;
+          Alcotest.test_case "deadline expires" `Quick test_cancel_deadline_expires;
+          Alcotest.test_case "child inherits" `Quick test_cancel_child_inherits;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "round trip" `Quick test_store_roundtrip;
+          Alcotest.test_case "corruption is a miss" `Quick test_store_corruption_is_a_miss;
         ] );
       ( "trace",
         [
@@ -863,5 +1166,11 @@ let () =
           Alcotest.test_case "invalidate and clear" `Quick test_cache_invalidate_and_clear;
           Alcotest.test_case "eviction bounds memory" `Quick test_cache_eviction_bounds_memory;
           Alcotest.test_case "metrics and trace wiring" `Quick test_cache_metrics_and_trace;
+          Alcotest.test_case "second chance: cold tail pays" `Quick
+            test_cache_second_chance_cold_tail_pays;
+          Alcotest.test_case "second chance: warm hit rate" `Quick
+            test_cache_second_chance_warm_hit_rate;
+          Alcotest.test_case "durable write-through and restore" `Quick
+            test_cache_durable_write_through_restore;
         ] );
     ]
