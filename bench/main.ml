@@ -34,6 +34,8 @@ let only_reach = ref false
 let reach_json_path = ref ""
 let only_whatif = ref false
 let whatif_json_path = ref ""
+let only_netlint = ref false
+let netlint_json_path = ref ""
 let deadline = ref 0.0
 let task_timeout = ref 0.0
 
@@ -56,6 +58,10 @@ let () =
        " run only the cold-vs-warm what-if sweep bench (skip experiments and bechamel)");
       ("--whatif-json", Arg.Set_string whatif_json_path,
        "FILE  write the what-if sweep bench results as JSON to FILE");
+      ("--only-netlint", Arg.Set only_netlint,
+       " run only the cold-vs-warm network-wide lint bench (skip experiments and bechamel)");
+      ("--netlint-json", Arg.Set_string netlint_json_path,
+       "FILE  write the netlint bench results as JSON to FILE");
       ("--deadline", Arg.Set_float deadline,
        "SEC  whole-run budget: networks still unbuilt after SEC seconds degrade to \
         failure rows and the bench exits 1");
@@ -63,7 +69,7 @@ let () =
        "SEC  per-network build budget, clocked from each network's start");
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument: " ^ a)))
-    "bench [-j N] [--json FILE] [--trace FILE] [--metrics] [--metrics-json FILE] [--only-reach] [--reach-json FILE] [--only-whatif] [--whatif-json FILE] [--deadline SEC] [--task-timeout SEC]"
+    "bench [-j N] [--json FILE] [--trace FILE] [--metrics] [--metrics-json FILE] [--only-reach] [--reach-json FILE] [--only-whatif] [--whatif-json FILE] [--only-netlint] [--netlint-json FILE] [--deadline SEC] [--task-timeout SEC]"
 
 (* [--deadline]/[--task-timeout] route the study build through the
    supervised keep-going path; a degraded population is a hard failure
@@ -609,6 +615,74 @@ let run_whatif_bench nets =
     Printf.printf "whatif bench json written to %s\n" !whatif_json_path
   end
 
+(* --------------------------------------------------- netlint bench --- *)
+
+(* Cold vs warm network-wide lint.  Cold is the from-scratch cost per
+   network: analyze the configurations and run every [Rd_core.Netlint]
+   rule family.  Warm re-lints the very same [Analysis.t] values — the
+   steady state of an operator re-running the linter while iterating —
+   where the hash-consed prefix-set kernel and the filter lowerings
+   memoized on physical AST identity absorb most of the work.  Both
+   passes must agree finding-for-finding. *)
+let run_netlint_bench nets =
+  section "Network-wide lint: cold analyze+lint vs warm re-lint";
+  let inputs =
+    List.map
+      (fun (n : Rd_study.Population.network) ->
+        (n, Rd_study.Population.generate_one n.spec))
+      nets
+  in
+  Gc.compact ();
+  let cold, cold_s =
+    time (fun () ->
+        List.map
+          (fun ((n : Rd_study.Population.network), files) ->
+            let a = Rd_core.Analysis.analyze ~name:n.spec.label files in
+            (a, Rd_core.Netlint.run_analysis a))
+          inputs)
+  in
+  Gc.compact ();
+  let warm_reports, warm_s =
+    time (fun () -> List.map (fun (a, _) -> Rd_core.Netlint.run_analysis a) cold)
+  in
+  let cold_reports = List.map snd cold in
+  if
+    List.map (fun (r : Rd_core.Netlint.report) -> r.findings) cold_reports
+    <> List.map (fun (r : Rd_core.Netlint.report) -> r.findings) warm_reports
+  then failwith "warm re-lint diverged from the cold pass";
+  let errors, warnings, infos = Rd_core.Netlint.counts cold_reports in
+  Printf.printf "workload: %d study networks, %d errors, %d warnings, %d infos\n"
+    (List.length nets) errors warnings infos;
+  let speedup = cold_s /. warm_s in
+  Rd_util.Table.print
+    ~headers:[ "pass"; "networks"; "wall (s)"; "speedup" ]
+    ~aligns:[ Rd_util.Table.Left; Rd_util.Table.Right; Rd_util.Table.Right; Rd_util.Table.Right ]
+    [
+      [ "cold (analyze + lint)"; string_of_int (List.length nets);
+        Printf.sprintf "%.3f" cold_s; "1.00x" ];
+      [ "warm (re-lint analyzed networks)"; string_of_int (List.length nets);
+        Printf.sprintf "%.3f" warm_s; Printf.sprintf "%.2fx" speedup ];
+    ];
+  Printf.printf "findings identical across both passes: true\n";
+  if speedup < 3.0 then
+    Printf.printf "WARNING: warm netlint speedup below the 3x target\n";
+  if !netlint_json_path <> "" then begin
+    Rd_util.Json.to_file !netlint_json_path
+      (Rd_util.Json.Obj
+         [
+           ("seed", Rd_util.Json.Int master_seed);
+           ("networks", Rd_util.Json.Int (List.length nets));
+           ("errors", Rd_util.Json.Int errors);
+           ("warnings", Rd_util.Json.Int warnings);
+           ("infos", Rd_util.Json.Int infos);
+           ("cold_s", Rd_util.Json.Float cold_s);
+           ("warm_s", Rd_util.Json.Float warm_s);
+           ("speedup_warm_vs_cold", Rd_util.Json.Float speedup);
+           ("identical", Rd_util.Json.Bool true);
+         ]);
+    Printf.printf "netlint bench json written to %s\n" !netlint_json_path
+  end
+
 (* ------------------------------------------------------------- part 2 --- *)
 
 open Bechamel
@@ -714,6 +788,7 @@ let build_population_only () =
 let () =
   if !only_reach then run_reach_bench (build_population_only ())
   else if !only_whatif then run_whatif_bench (build_population_only ())
+  else if !only_netlint then run_netlint_bench (build_population_only ())
   else begin
     let nets = run_experiments () in
     run_reach_bench nets;

@@ -330,15 +330,24 @@ let dot_cmd =
 (* --- audit -------------------------------------------------------------- *)
 
 let audit_cmd =
-  let run dir =
+  let run dir json =
     guard @@ fun () ->
     let findings = Rd_core.Audit.run_all (analyze_dir dir) in
-    print_string (Rd_core.Audit.render findings);
-    Printf.printf "%d findings\n" (List.length findings)
+    if json then
+      print_endline (Rd_util.Json.to_string (Rd_core.Audit.to_json findings))
+    else begin
+      print_string (Rd_core.Audit.render findings);
+      Printf.printf "%d findings\n" (List.length findings)
+    end
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the findings as a JSON array of diagnostics (stable audit-* codes).")
   in
   Cmd.v
     (Cmd.info "audit" ~doc:"Vulnerability/anomaly audit of a routing design (paper §8.1).")
-    Term.(const run $ dir_arg)
+    Term.(const run $ dir_arg $ json_arg)
 
 (* --- inventory ------------------------------------------------------------ *)
 
@@ -760,6 +769,107 @@ let crosscheck_cmd =
           $ shrink_arg $ repro_arg $ inject_arg $ deadline_arg $ task_timeout_arg
           $ checkpoint_arg $ resume_arg)
 
+(* --- netlint ------------------------------------------------------------ *)
+
+let netlint_cmd =
+  let run dir study seed only jobs rules json deadline task_timeout =
+    guard @@ fun () ->
+    let rules =
+      match rules with
+      | [] -> None
+      | rs ->
+        List.iter
+          (fun r ->
+            if not (List.mem r Rd_core.Netlint.all_rules) then
+              die ~code:"unknown-rule" "%s: unknown rule (expected %s)" r
+                (String.concat "|" Rd_core.Netlint.all_rules))
+          rs;
+        Some rs
+    in
+    let finish root reports failures total =
+      if json then
+        print_endline (Rd_util.Json.to_string (Rd_core.Netlint.to_json reports))
+      else print_string (Rd_core.Netlint.render reports);
+      if failures <> [] then
+        print_string (Rd_study.Population.render_failures ~total failures);
+      exit_interrupted root;
+      if failures <> [] || Rd_core.Netlint.has_errors reports then exit 1
+    in
+    match (dir, study) with
+    | Some _, true -> die ~code:"usage" "give either DIR or --study, not both"
+    | None, false -> die ~code:"usage" "give a DIR of configurations or --study"
+    | Some d, false ->
+      let root = root_token ?deadline () in
+      let cancel =
+        match task_timeout with
+        | None -> root
+        | Some dl -> Rd_util.Cancel.child ~deadline:dl root
+      in
+      let name = Filename.basename d in
+      let files = load_dir d in
+      let reports = [ Rd_core.Netlint.run ~cancel ?rules ~name files ] in
+      finish root reports [] 1
+    | None, true ->
+      let only_opt = match only with [] -> None | ids -> Some ids in
+      let root = root_token ?deadline () in
+      let results =
+        Rd_study.Population.build_results ~cancel:root ?task_timeout ~jobs
+          ?only:only_opt ~master_seed:seed ()
+      in
+      (* Lint sequentially over the built analyses; a SIGINT renders
+         whatever finished. *)
+      let reports, failures =
+        List.fold_left
+          (fun (rs, fs) -> function
+            | Ok (nw : Rd_study.Population.network) ->
+              if Rd_util.Cancel.cancelled (Some root) then (rs, fs)
+              else
+                let files = Rd_study.Population.generate_one nw.spec in
+                ( Rd_core.Netlint.run_analysis ~cancel:root ?rules ~files
+                    nw.analysis
+                  :: rs,
+                  fs )
+            | Error f -> (rs, f :: fs))
+          ([], []) results
+      in
+      finish root (List.rev reports) (List.rev failures) (List.length results)
+  in
+  let dir_opt_arg =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"DIR" ~doc:"Directory of configuration files (omit with $(b,--study)).")
+  in
+  let study_arg =
+    Arg.(value & flag
+         & info [ "study" ] ~doc:"Lint every network of the 31-network study population.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 2004 & info [ "seed" ] ~docv:"SEED" ~doc:"Master seed (with --study).")
+  in
+  let only_arg =
+    Arg.(value & opt (list int) []
+         & info [ "only" ] ~docv:"IDS" ~doc:"Comma-separated net ids (with --study).")
+  in
+  let jobs_arg =
+    Arg.(value & opt int (Rd_util.Pool.default_jobs ())
+         & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Worker domains for building the population.")
+  in
+  let rules_arg =
+    Arg.(value & opt (list string) []
+         & info [ "rules" ] ~docv:"RULES"
+             ~doc:"Comma-separated rule families to run (default: all of \
+                   redistribution-loop, route-leak, peer-consistency, shadowed-rules).")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON (what CI archives).")
+  in
+  Cmd.v
+    (Cmd.info "netlint"
+       ~doc:"Network-wide semantic lint: redistribution-loop and route-leak dataflow over \
+             the instance graph, BGP/OSPF peer-consistency checks, and shadowed \
+             filter-rule detection.  Exits non-zero on any error-severity finding.")
+    Term.(const run $ dir_opt_arg $ study_arg $ seed_arg $ only_arg $ jobs_arg $ rules_arg
+          $ json_arg $ deadline_arg $ task_timeout_arg)
+
 (* --- generate ----------------------------------------------------------- *)
 
 let generate_cmd =
@@ -989,5 +1099,5 @@ let () =
           [
             parse_cmd; lint_cmd; anonymize_cmd; summary_cmd; instances_cmd; processes_cmd; areas_cmd;
             roles_cmd; pathway_cmd; reach_cmd; dot_cmd; audit_cmd; inventory_cmd; whatif_cmd;
-            crosscheck_cmd; generate_cmd; study_cmd;
+            crosscheck_cmd; netlint_cmd; generate_cmd; study_cmd;
           ]))

@@ -27,6 +27,7 @@ let all_invariants =
     "deny-filter-monotone";
     "remove-router-monotone";
     "worklist-equals-rounds";
+    "netlint-sim-agree";
   ]
 
 (* --- admitted approximations ------------------------------------------- *)
@@ -68,10 +69,12 @@ let witnesses prefixes =
    set grants (its network address is inside) is an artifact of
    lowering per-route filters — which match a route by its network
    address — to address sets, and is reported as a warning. *)
-let sim_subset_static ?limits ?cancel ?faults ~approx (a : Analysis.t)
-    (r : Rd_reach.Reachability.t) =
-  let pg = Rd_routing.Process_graph.build a.catalog in
-  let sim = Rd_sim.Propagate.run ?limits ?cancel ?faults pg in
+(* The simulation is by far the most expensive step of the oracle
+   (minutes on the larger study networks); [sim] is a lazy shared with
+   the [netlint-sim-agree] invariant so one cross-check run propagates
+   routes at most once. *)
+let sim_subset_static ~approx ~sim (a : Analysis.t) (r : Rd_reach.Reachability.t) =
+  let sim : Rd_sim.Propagate.t = Lazy.force sim in
   if not sim.converged then
     Error
       (Printf.sprintf "simulation unconverged after %d rounds; containment proves nothing"
@@ -316,6 +319,111 @@ let worklist_equals_rounds ?limits ?cancel (a : Analysis.t) (r : Rd_reach.Reacha
       :: !violations;
   Ok (List.rev !violations)
 
+(* Netlint's route-leak dataflow and the concrete simulation must tell
+   one story about what escapes to each external AS.  Two directions:
+   every leak Netlint reports must sit inside the static interior
+   exposure of that AS (the leak BFS walks a sub-graph of the fixpoint,
+   so an escape here is a bug in one of them), and every converged
+   simulated route of internal origin that an unfiltered external BGP
+   session would announce must also sit inside that exposure.  Interior
+   exposure is computed with empty external offers, so routes learned
+   from outside cannot mask a disagreement. *)
+let netlint_sim_agree ?limits ?cancel ~approx (a : Analysis.t) ~sim () =
+  let sim : Rd_sim.Propagate.t = Lazy.force sim in
+  if not sim.converged then
+    Error
+      (Printf.sprintf "simulation unconverged after %d rounds; agreement proves nothing"
+         sim.iterations)
+  else begin
+    let r0 =
+      Rd_reach.Reachability.compute ?limits ?cancel ~external_offers:Prefix_set.empty a.graph
+    in
+    let exposure x =
+      match List.assoc_opt x r0.Rd_reach.Reachability.advertised with
+      | Some s -> s
+      | None -> Prefix_set.empty
+    in
+    let violations = ref [] in
+    List.iter
+      (fun (l : Netlint.leak) ->
+        if not (Prefix_set.subset l.leak_prefixes (exposure l.leak_asn)) then
+          violations :=
+            {
+              severity = Diag.Error;
+              invariant = "netlint-sim-agree";
+              subject = Printf.sprintf "AS%d" l.leak_asn;
+              detail =
+                Printf.sprintf
+                  "netlint leak from instance %d claims prefixes outside the static \
+                   exposure: %s"
+                  l.leak_origin
+                  (witnesses
+                     (Prefix_set.to_prefixes
+                        (Prefix_set.diff l.leak_prefixes (exposure l.leak_asn))));
+            }
+            :: !violations)
+      (Netlint.leaks a);
+    let internal = Rd_reach.Reachability.internal_space r0 in
+    List.iter
+      (fun (e : Rd_routing.Instance_graph.edge) ->
+        match (e.src, e.dst, e.via) with
+        | Rd_routing.Instance_graph.Inst i,
+          Rd_routing.Instance_graph.External x,
+          Rd_routing.Instance_graph.Ebgp_session _ ->
+          let expo = exposure x in
+          let inst = a.graph.assignment.instances.(i) in
+          let announced =
+            List.concat_map
+              (fun pid ->
+                List.map
+                  (fun (rt : Rd_sim.Rib.route) -> rt.dest)
+                  (Rd_sim.Rib.routes (Rd_sim.Propagate.rib_of_process sim pid)))
+              inst.members
+            |> List.sort_uniq Prefix.compare
+            |> List.filter (fun p ->
+                   Prefix_set.mem (Prefix.network p) internal
+                   && Rd_policy.Route_filter.permits e.filter p)
+          in
+          let sticking =
+            List.filter
+              (fun p -> not (Prefix_set.subset (Prefix_set.of_prefix p) expo))
+              announced
+          in
+          let hard, soft =
+            List.partition (fun p -> not (Prefix_set.mem (Prefix.network p) expo)) sticking
+          in
+          if hard <> [] then
+            violations :=
+              {
+                severity = (if approx then Diag.Warning else Diag.Error);
+                invariant = "netlint-sim-agree";
+                subject = Printf.sprintf "AS%d via %s" x (instance_subject a i);
+                detail =
+                  Printf.sprintf
+                    "simulated internal routes announced beyond the static exposure: %s%s"
+                    (witnesses hard)
+                    (if approx then " (downgraded: config uses approximated policies)"
+                     else "");
+              }
+              :: !violations;
+          if soft <> [] then
+            violations :=
+              {
+                severity = Diag.Warning;
+                invariant = "netlint-sim-agree";
+                subject = Printf.sprintf "AS%d via %s" x (instance_subject a i);
+                detail =
+                  Printf.sprintf
+                    "simulated internal routes coarser than the static exposure (network \
+                     address contained): %s"
+                    (witnesses soft);
+              }
+              :: !violations
+        | _ -> ())
+      a.graph.edges;
+    Ok (List.rev !violations)
+  end
+
 (* --- driver ------------------------------------------------------------- *)
 
 let run_analysis ?limits ?cancel ?faults ?(invariants = all_invariants) ?files
@@ -330,6 +438,10 @@ let run_analysis ?limits ?cancel ?faults ?(invariants = all_invariants) ?files
   Rd_util.Cancel.check ~site:"crosscheck.network" cancel;
   let r = Rd_reach.Reachability.compute ?limits ?cancel a.graph in
   let approx = approximations a <> [] in
+  (* One shared simulation for every invariant that needs it. *)
+  let sim =
+    lazy (Rd_sim.Propagate.run ?limits ?cancel ?faults (Rd_routing.Process_graph.build a.catalog))
+  in
   let checked = ref [] and skipped = ref [] and violations = ref [] in
   let converged = ref true in
   let record inv result =
@@ -344,9 +456,11 @@ let run_analysis ?limits ?cancel ?faults ?(invariants = all_invariants) ?files
       Rd_util.Cancel.check ~site:"crosscheck.invariant" cancel;
       match inv with
       | "sim-subset-static" ->
-        let result = sim_subset_static ?limits ?cancel ?faults ~approx a r in
+        let result = sim_subset_static ~approx ~sim a r in
         (match result with Error _ -> converged := false | Ok _ -> ());
         record inv result
+      | "netlint-sim-agree" ->
+        record inv (netlint_sim_agree ?limits ?cancel ~approx a ~sim ())
       | "anonymize-structure" -> record inv (anonymize_structure ?limits ?cancel a files)
       | "deny-filter-monotone" -> record inv (deny_filter_monotone ?limits ?cancel a r)
       | "remove-router-monotone" -> record inv (remove_router_monotone ?limits ?cancel a)

@@ -40,7 +40,13 @@ type report = {
 val all_invariants : string list
 (** The invariant catalogue, in run order: [sim-subset-static],
     [anonymize-structure], [deny-filter-monotone],
-    [remove-router-monotone], [worklist-equals-rounds]. *)
+    [remove-router-monotone], [worklist-equals-rounds],
+    [netlint-sim-agree].  The last cross-checks {!Rd_core.Netlint}'s
+    route-leak dataflow against both engines: every reported leak must
+    sit inside the static interior exposure of its external AS, and
+    every converged simulated route of internal origin that an
+    unfiltered external session would announce must too.  It shares
+    one route-propagation simulation with [sim-subset-static]. *)
 
 val run_analysis :
   ?limits:Rd_util.Limits.t ->

@@ -1,17 +1,16 @@
 open Rd_addr
 open Rd_config
 
-type severity = Warning | Info
+type finding = Diag.t
 
-type finding = {
-  severity : severity;
-  category : string;
-  router : string option;
-  message : string;
-}
-
+(* Findings are ordinary diagnostics: [file] carries the implicated
+   router's configuration file, the code is the check's stable
+   kebab-case id under the [audit-] prefix.  Audit checks reason about
+   whole-design structure, so no line number is attached. *)
 let finding ?router severity category fmt =
-  Printf.ksprintf (fun message -> { severity; category; router; message }) fmt
+  Printf.ksprintf
+    (fun message -> Diag.make ?file:router severity ~code:("audit-" ^ category) message)
+    fmt
 
 let router_name (t : Analysis.t) ri = fst t.topo.routers.(ri)
 
@@ -29,7 +28,7 @@ let unfiltered_peerings (t : Analysis.t) =
       match n with
       | Some n when n.nb_dlists = [] && n.nb_route_maps = [] && n.nb_prefix_lists = [] ->
         acc :=
-          finding ~router:(router_name t p.router) Warning "unfiltered-peering"
+          finding ~router:(router_name t p.router) Diag.Warning "unfiltered-peering"
             "EBGP session to AS %d (peer %s) has no distribute-list or route-map"
             ep.remote_asn (Ipv4.to_string ep.peer_addr)
           :: !acc
@@ -44,7 +43,7 @@ let unfiltered_peerings (t : Analysis.t) =
         match Ast.find_interface cfg i.name with
         | Some ifc when ifc.access_groups = [] ->
           acc :=
-            finding ~router:(router_name t i.router) Warning "unfiltered-edge-interface"
+            finding ~router:(router_name t i.router) Diag.Warning "unfiltered-edge-interface"
               "external-facing interface %s carries no packet filter" i.name
             :: !acc
         | _ -> ()
@@ -82,7 +81,7 @@ let incomplete_adjacencies (t : Analysis.t) =
                 List.find (fun (e : Rd_topo.Topology.iface) -> List.mem proto (covering e)) endpoints
               in
               acc :=
-                finding ~router:(router_name t lonely.router) Warning "half-covered-link"
+                finding ~router:(router_name t lonely.router) Diag.Warning "half-covered-link"
                   "link %s is covered by %s on only one endpoint — the adjacency cannot form"
                   (Prefix.to_string l.subnet_of_link)
                   (Ast.protocol_to_string proto)
@@ -107,7 +106,7 @@ let incomplete_adjacencies (t : Analysis.t) =
           && not (List.exists (fun (pid, _) -> pid = p.pid) t.graph.adjacency.igp_external_edges)
         then
           acc :=
-            finding ~router:(router_name t p.router) Info "isolated-process"
+            finding ~router:(router_name t p.router) Diag.Info "isolated-process"
               "%s process %s has no adjacency (single-router instance)"
               (Ast.protocol_to_string p.protocol)
               (match p.proc_id with Some i -> string_of_int i | None -> "-")
@@ -155,12 +154,12 @@ let dangling_references (t : Analysis.t) =
           | `Acl ->
             if Ast.find_acl cfg x = None then
               acc :=
-                finding ~router:name Warning "undefined-acl" "access-list %s is referenced but not defined" x
+                finding ~router:name Diag.Warning "undefined-acl" "access-list %s is referenced but not defined" x
                 :: !acc
           | `Rm ->
             if Ast.find_route_map cfg x = None then
               acc :=
-                finding ~router:name Warning "undefined-route-map"
+                finding ~router:name Diag.Warning "undefined-route-map"
                   "route-map %s is referenced but not defined" x
                 :: !acc)
         referenced;
@@ -169,7 +168,7 @@ let dangling_references (t : Analysis.t) =
         (fun (a : Ast.acl) ->
           if not (Hashtbl.mem referenced (`Acl, a.acl_name)) then
             acc :=
-              finding ~router:name Info "unused-acl" "access-list %s is defined but never applied"
+              finding ~router:name Diag.Info "unused-acl" "access-list %s is defined but never applied"
                 a.acl_name
               :: !acc)
         cfg.acls;
@@ -177,7 +176,7 @@ let dangling_references (t : Analysis.t) =
         (fun (rm : Ast.route_map) ->
           if not (Hashtbl.mem referenced (`Rm, rm.rm_name)) then
             acc :=
-              finding ~router:name Info "unused-route-map" "route-map %s is defined but never applied"
+              finding ~router:name Diag.Info "unused-route-map" "route-map %s is defined but never applied"
                 rm.rm_name
               :: !acc)
         cfg.route_maps)
@@ -197,7 +196,7 @@ let duplicate_addresses (t : Analysis.t) =
         match Hashtbl.find_opt seen key with
         | Some (r0, n0) when r0 <> i.router ->
           acc :=
-            finding ~router:(router_name t i.router) Warning "duplicate-address"
+            finding ~router:(router_name t i.router) Diag.Warning "duplicate-address"
               "address %s on %s is also configured on %s:%s" (Ipv4.to_string a) i.name
               (router_name t r0) n0
             :: !acc
@@ -220,14 +219,14 @@ let unresolved_static_next_hops (t : Analysis.t) =
           | Ast.Nh_addr nh ->
             if not (List.exists (fun p -> Prefix.mem nh p) connected) then
               acc :=
-                finding ~router:name Warning "unresolved-next-hop"
+                finding ~router:name Diag.Warning "unresolved-next-hop"
                   "static route to %s points at %s, which is on no connected subnet"
                   (Prefix.to_string s.sr_dest) (Ipv4.to_string nh)
                 :: !acc
           | Ast.Nh_iface ifname ->
             if Ast.find_interface cfg ifname = None then
               acc :=
-                finding ~router:name Warning "unresolved-next-hop"
+                finding ~router:name Diag.Warning "unresolved-next-hop"
                   "static route to %s uses undefined interface %s"
                   (Prefix.to_string s.sr_dest) ifname
                 :: !acc)
@@ -250,7 +249,7 @@ let shared_static_destinations (t : Analysis.t) =
   Hashtbl.fold
     (fun dest routers acc ->
       if List.length routers >= 2 then
-        finding Info "shared-static-destination"
+        finding Diag.Info "shared-static-destination"
           "%d routers (%s) hold static routes to %s — avoid maintaining them simultaneously"
           (List.length routers)
           (String.concat ", " (List.sort compare routers))
@@ -268,7 +267,7 @@ let ospf_area_issues (t : Analysis.t) =
     (fun (info : Rd_routing.Areas.t) ->
       if List.length info.areas >= 2 && not info.has_backbone then
         acc :=
-          finding Warning "ospf-no-backbone-area"
+          finding Diag.Warning "ospf-no-backbone-area"
             "OSPF instance %d spans %d areas but has no area 0 — inter-area routes cannot flow"
             info.inst_id (List.length info.areas)
           :: !acc;
@@ -282,7 +281,7 @@ let ospf_area_issues (t : Analysis.t) =
                 acc :=
                   finding
                     ~router:(router_name t (List.hd abrs_of_area))
-                    Info "single-abr-area"
+                    Diag.Info "single-abr-area"
                     "OSPF area %d hangs off a single area border router" a.area
                   :: !acc
             end)
@@ -296,21 +295,10 @@ let run_all t =
     @ duplicate_addresses t @ unresolved_static_next_hops t @ shared_static_destinations t
     @ ospf_area_issues t
   in
-  let warnings, infos = List.partition (fun f -> f.severity = Warning) all in
+  let warnings, infos =
+    List.partition (fun (f : Diag.t) -> f.severity = Diag.Warning) all
+  in
   warnings @ infos
 
-let render findings =
-  if findings = [] then "no findings\n"
-  else begin
-    let buf = Buffer.create 512 in
-    List.iter
-      (fun f ->
-        Buffer.add_string buf
-          (Printf.sprintf "%-7s %-26s %-10s %s\n"
-             (match f.severity with Warning -> "WARN" | Info -> "info")
-             f.category
-             (Option.value f.router ~default:"-")
-             f.message))
-      findings;
-    Buffer.contents buf
-  end
+let render = Diag.render
+let to_json = Diag.to_json

@@ -9,14 +9,14 @@
     the same prefix.  Each check returns findings; [run_all] aggregates
     them. *)
 
-type severity = Warning | Info
-
-type finding = {
-  severity : severity;
-  category : string;  (** stable kebab-case id, e.g. ["unfiltered-peering"]. *)
-  router : string option;  (** hostname/file of the implicated router. *)
-  message : string;
-}
+type finding = Rd_config.Diag.t
+(** Findings are ordinary diagnostics, sharing the {!Rd_config.Diag}
+    infrastructure with the parser, {!Lint}, and {!Netlint}: severity
+    {!Rd_config.Diag.Warning} or [Info], a stable kebab-case code under
+    the [audit-] prefix (e.g. [audit-unfiltered-peering]), and [file]
+    naming the implicated router's configuration file.  Audit checks
+    reason about whole-design structure, so no line number is
+    attached. *)
 
 val unfiltered_peerings : Analysis.t -> finding list
 (** External BGP sessions with neither a distribute-list nor a route-map
@@ -52,5 +52,9 @@ val run_all : Analysis.t -> finding list
 (** Every check, Warnings first. *)
 
 val render : finding list -> string
-(** Aligned table (severity, category, router, message);
-    ["no findings\n"] when empty. *)
+(** {!Rd_config.Diag.render}: aligned table (file, line, severity,
+    code, message); ["no diagnostics\n"] when empty. *)
+
+val to_json : finding list -> Rd_util.Json.t
+(** {!Rd_config.Diag.to_json}: JSON array of diagnostic objects — what
+    [rdna audit --json] emits. *)

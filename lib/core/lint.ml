@@ -38,6 +38,11 @@ let lint_config ~file text =
   let add_ref kind name lineno = refs := (kind, name, lineno) :: !refs in
   (* BGP neighbors: (block id, peer) -> (first line, saw remote-as) *)
   let neighbors : (int * string, int * bool ref) Hashtbl.t = Hashtbl.create 8 in
+  (* (block, name) of [neighbor <name> peer-group] declarations, and
+     (block, peer) -> group of [neighbor <peer> peer-group <group>]
+     memberships: a member inherits the group's remote-as. *)
+  let peer_groups : (int * string, unit) Hashtbl.t = Hashtbl.create 4 in
+  let group_membership : (int * string, string) Hashtbl.t = Hashtbl.create 4 in
   let if_addrs = ref [] in
   (* (interface name, prefix, lineno) in reverse document order *)
   let context = ref [] in
@@ -118,7 +123,12 @@ let lint_config ~file text =
             Hashtbl.add neighbors (!block_id, peer) e;
             e
         in
-        match rest with "remote-as" :: _ -> snd entry := true | _ -> ()
+        match rest with
+        | "remote-as" :: _ -> snd entry := true
+        | [ "peer-group" ] -> Hashtbl.replace peer_groups (!block_id, peer) ()
+        | "peer-group" :: group :: _ ->
+          Hashtbl.replace group_membership (!block_id, peer) group
+        | _ -> ()
       end;
       (match rest with
        | "distribute-list" :: name :: _ -> add_ref Acl name l.lineno
@@ -165,8 +175,22 @@ let lint_config ~file text =
   unused rm_defs Route_map "lint-unused-route-map";
   (* BGP neighbors missing remote-as. *)
   Hashtbl.iter
-    (fun (_, peer) (lineno, has_remote) ->
-      if not !has_remote then
+    (fun (block, peer) (lineno, has_remote) ->
+      (* A peer-group declaration is a template, not a session; a
+         member whose group supplies remote-as inherits it. *)
+      let group_covers =
+        match Hashtbl.find_opt group_membership (block, peer) with
+        | Some group -> (
+          match Hashtbl.find_opt neighbors (block, group) with
+          | Some (_, group_remote) -> !group_remote
+          | None -> false)
+        | None -> false
+      in
+      if
+        (not !has_remote)
+        && (not (Hashtbl.mem peer_groups (block, peer)))
+        && not group_covers
+      then
         emit ~line:lineno Diag.Error ~code:"lint-neighbor-no-remote-as"
           "BGP neighbor %s has no remote-as; the session cannot establish" peer)
     neighbors;

@@ -99,6 +99,18 @@ let permitted_set ?diag (acl : Ast.acl) =
       Acl_tbl.add tbl acl s;
       s)
 
+let wildcard_set w =
+  match Wildcard.to_prefix w with
+  | Some p -> (Prefix_set.of_prefix p, true)
+  | None ->
+    let prefixes, exact = Wildcard.to_prefixes w in
+    (Prefix_set.of_prefixes prefixes, exact)
+
+let clause_src_set (c : Ast.acl_clause) = wildcard_set c.src
+
+let clause_dst_set (c : Ast.acl_clause) =
+  match c.dst with None -> (Prefix_set.full, true) | Some d -> wildcard_set d
+
 let clause_count (acl : Ast.acl) = List.length acl.clauses
 
 let matches_any (c : Ast.acl_clause) = Wildcard.equal c.src Wildcard.any

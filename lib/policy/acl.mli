@@ -43,6 +43,17 @@ val permitted_set : ?diag:Diag.collector -> Ast.acl -> Prefix_set.t
     reference the same parsed ACL many times.  Passing [diag] bypasses
     the memo so warnings are reported on every explicit request. *)
 
+val clause_src_set : Ast.acl_clause -> Prefix_set.t * bool
+(** Source-address coverage of one clause and whether it is exact
+    ([false] when a non-contiguous wildcard forced the contiguous-cover
+    over-approximation of {!permitted_set}).  The shadowed-rule analysis
+    ([Rd_core.Netlint]) only trusts exact earlier-clause sets. *)
+
+val clause_dst_set : Ast.acl_clause -> Prefix_set.t * bool
+(** Destination coverage of one clause ({!Prefix_set.full} for a
+    standard clause, which matches any destination), with the same
+    exactness flag. *)
+
 val clause_count : Ast.acl -> int
 (** Number of clauses (the paper's 47-clause filters, Fig 11 input). *)
 

@@ -1,16 +1,20 @@
 open Rd_addr
 open Rd_config
 
-let entry_matches (e : Ast.prefix_list_entry) route =
+let entry_bounds (e : Ast.prefix_list_entry) =
   let base_len = Prefix.len e.pl_prefix in
-  let l = Prefix.len route in
-  let lo = match e.pl_ge with Some g -> g | None -> base_len in
+  let lo = match e.pl_ge with Some g -> max g base_len | None -> base_len in
   let hi =
     match e.pl_le with
     | Some le -> le
     | None -> ( match e.pl_ge with Some _ -> 32 | None -> base_len)
   in
-  l >= lo && l <= hi && Prefix.mem (Prefix.addr route) e.pl_prefix && l >= base_len
+  (lo, hi)
+
+let entry_matches (e : Ast.prefix_list_entry) route =
+  let lo, hi = entry_bounds e in
+  let l = Prefix.len route in
+  l >= lo && l <= hi && Prefix.mem (Prefix.addr route) e.pl_prefix
 
 let eval (pl : Ast.prefix_list) route =
   let rec go = function

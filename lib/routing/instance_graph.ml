@@ -271,6 +271,9 @@ let redistribution_routers t ~src ~dst =
          | _ -> None)
        t.edges)
 
+let via_router = function
+  | Redist { router; _ } | Ebgp_session { router; _ } | Igp_edge { router; _ } -> router
+
 let instance_of_router t ri =
   List.sort_uniq Int.compare
     (List.map (fun pid -> t.assignment.of_process.(pid)) t.catalog.by_router.(ri))

@@ -64,6 +64,10 @@ val redistribution_routers : t -> src:int -> dst:int -> int list
 (** Routers that redistribute routes from instance [src] into instance
     [dst] — the redundant "glue" routers of the paper's net5 analysis. *)
 
+val via_router : via -> int
+(** The router an edge's mechanism is configured on — where a finding
+    about the edge should point. *)
+
 val instance_of_router : t -> int -> int list
 (** Instances that have a process on the given router. *)
 

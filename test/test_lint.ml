@@ -101,6 +101,26 @@ let test_neighbor_with_remote_as_clean () =
   in
   assert_none ~code:"lint-neighbor-no-remote-as" diags
 
+let test_neighbor_peer_group_covers () =
+  (* A member inherits remote-as from its peer-group: neither the member
+     nor the group template should be flagged. *)
+  let diags =
+    lint
+      "router bgp 65001\n\
+      \ neighbor CORE peer-group\n\
+      \ neighbor CORE remote-as 65002\n\
+      \ neighbor 10.0.0.2 peer-group CORE\n"
+  in
+  assert_none ~code:"lint-neighbor-no-remote-as" diags
+
+let test_neighbor_peer_group_no_remote_as () =
+  (* A member of a group that never supplies remote-as is still broken;
+     the template declaration itself is not a session and stays clean. *)
+  let diags =
+    lint "router bgp 65001\n neighbor OTHER peer-group\n neighbor 10.0.0.4 peer-group OTHER\n"
+  in
+  assert_one ~code:"lint-neighbor-no-remote-as" ~line:3 ~severity:Diag.Error diags
+
 (* --------------------------------------------------------- redistribute --- *)
 
 let test_redistribute_no_metric () =
@@ -211,6 +231,8 @@ let () =
         [
           Alcotest.test_case "neighbor without remote-as" `Quick test_neighbor_no_remote_as;
           Alcotest.test_case "neighbor with remote-as clean" `Quick test_neighbor_with_remote_as_clean;
+          Alcotest.test_case "peer-group supplies remote-as" `Quick test_neighbor_peer_group_covers;
+          Alcotest.test_case "peer-group without remote-as" `Quick test_neighbor_peer_group_no_remote_as;
           Alcotest.test_case "redistribute no metric" `Quick test_redistribute_no_metric;
           Alcotest.test_case "redistribute with metric clean" `Quick test_redistribute_with_metric_clean;
           Alcotest.test_case "redistribute into rip clean" `Quick test_redistribute_into_non_ospf_clean;

@@ -12,10 +12,11 @@ let contains_sub ~needle hay =
   go 0
 
 let has_category findings cat =
-  List.exists (fun (f : Rd_core.Audit.finding) -> f.category = cat) findings
+  List.exists (fun (f : Rd_core.Audit.finding) -> f.code = "audit-" ^ cat) findings
 
 let count_category findings cat =
-  List.length (List.filter (fun (f : Rd_core.Audit.finding) -> f.category = cat) findings)
+  List.length
+    (List.filter (fun (f : Rd_core.Audit.finding) -> f.code = "audit-" ^ cat) findings)
 
 (* ---------------------------------------------------------------- audit --- *)
 
@@ -173,8 +174,8 @@ access-list 60 permit any
   let rec check_order seen_info = function
     | [] -> true
     | (x : Rd_core.Audit.finding) :: rest ->
-      if x.severity = Rd_core.Audit.Warning && seen_info then false
-      else check_order (seen_info || x.severity = Rd_core.Audit.Info) rest
+      if x.severity = Rd_config.Diag.Warning && seen_info then false
+      else check_order (seen_info || x.severity = Rd_config.Diag.Info) rest
   in
   check_bool "warnings first" true (check_order false f);
   check_bool "render" true (String.length (Rd_core.Audit.render f) > 0)
